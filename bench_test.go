@@ -1,0 +1,180 @@
+package bgpcoll_test
+
+// One benchmark per figure/table of the paper's evaluation (§VI). Each
+// benchmark regenerates its artifact on the simulated machine and reports
+// the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// reproduces the whole study. Benchmarks default to trimmed message sweeps
+// (Options.Quick); set BGPCOLL_BENCH_FULL=1 for the paper's full sweeps.
+// cmd/bgpbench prints the complete tables.
+
+import (
+	"os"
+	"testing"
+
+	"bgpcoll/internal/bench"
+	"bgpcoll/internal/coll"
+)
+
+func benchOptions() bench.Options {
+	return bench.Options{Quick: os.Getenv("BGPCOLL_BENCH_FULL") == ""}
+}
+
+func init() { coll.Register() }
+
+// reportRatio emits a/b under the given metric name.
+func reportRatio(b *testing.B, fig *bench.Figure, num, den string, size int, name string) {
+	b.Helper()
+	n, ok1 := fig.Value(num, size)
+	d, ok2 := fig.Value(den, size)
+	if !ok1 || !ok2 || d == 0 {
+		b.Fatalf("missing series for ratio %s (%v %v)", name, ok1, ok2)
+	}
+	b.ReportMetric(n/d, name)
+}
+
+// BenchmarkFig6TreeBcastLatency regenerates Fig. 6: short-message broadcast
+// latency over the collective network. Key paper shape: the quad-mode
+// shared-memory algorithm costs only a fraction of a microsecond over the
+// SMP-mode hardware broadcast and beats the DMA-based algorithm.
+func BenchmarkFig6TreeBcastLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		shmem, _ := fig.Value("CollectiveNetwork+Shmem", 8)
+		smp, _ := fig.Value("CollectiveNetwork (SMP)", 8)
+		b.ReportMetric(shmem, "shmem_us@8B")
+		b.ReportMetric(shmem-smp, "overhead_us@8B")
+	}
+}
+
+// BenchmarkFig7TreeBcastBandwidth regenerates Fig. 7: collective-network
+// broadcast bandwidth. Key paper shape: the shared-address algorithm is the
+// best quad algorithm (~+45% over the DMA algorithms at 128K) and tracks the
+// SMP reference.
+func BenchmarkFig7TreeBcastBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		shaddr, _ := fig.Value("CollectiveNetwork+Shaddr", 128<<10)
+		b.ReportMetric(shaddr, "shaddr_MBs@128K")
+		reportRatio(b, fig, "CollectiveNetwork+Shaddr", "CollectiveNetwork+DMA Direct Put",
+			128<<10, "speedup@128K")
+	}
+}
+
+// BenchmarkFig8SyscallOverhead regenerates Fig. 8: the cost of repeated
+// process-window system calls without the mapping cache.
+func BenchmarkFig8SyscallOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, fig, "CollectiveNetwork+Shaddr+caching",
+			"CollectiveNetwork+Shaddr+nocaching", 1<<10, "caching_gain@1K")
+	}
+}
+
+// BenchmarkFig9TreeBcastScaling regenerates Fig. 9: shared-address broadcast
+// bandwidth from 1024 to 8192 ranks. Key paper shape: the curves coincide —
+// the collective network scales.
+func BenchmarkFig9TreeBcastScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, _ := fig.Value("CollectiveNetwork+Shaddr(1024)", 4<<20)
+		large, _ := fig.Value("CollectiveNetwork+Shaddr(8192)", 4<<20)
+		if small == 0 {
+			b.Fatal("missing scaling series")
+		}
+		b.ReportMetric(large/small, "scale8x_retention@4M")
+	}
+}
+
+// BenchmarkFig10TorusBcastBandwidth regenerates Fig. 10: torus broadcast
+// bandwidth. Key paper shapes: shared-address ~2.9x the quad direct-put at
+// 2M, the Bcast FIFO ~1.4x, and the shared-address curve dips at 4M when the
+// working set exceeds the 8 MB L2.
+func BenchmarkFig10TorusBcastBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, fig, "Torus+Shaddr", "Torus Direct Put", 2<<20, "shaddr_speedup@2M")
+		reportRatio(b, fig, "Torus+FIFO", "Torus Direct Put", 2<<20, "fifo_speedup@2M")
+		s2, _ := fig.Value("Torus+Shaddr", 2<<20)
+		s4, _ := fig.Value("Torus+Shaddr", 4<<20)
+		if s2 > 0 {
+			b.ReportMetric(s4/s2, "l2_dip@4M")
+		}
+	}
+}
+
+// BenchmarkTable1AllreduceThroughput regenerates Table I: torus allreduce
+// throughput, proposed vs current algorithm. Key paper shape: the proposed
+// algorithm wins, most at large double counts (~+33% at 512K doubles).
+func BenchmarkTable1AllreduceThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Table1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRatio(b, fig, "New (MB/s)", "Current (MB/s)", 512<<10, "new_speedup@512Kdoubles")
+	}
+}
+
+// BenchmarkAblationColors sweeps the multi-color route count of the torus
+// broadcast (DESIGN.md ablation): bandwidth should scale with the colors.
+func BenchmarkAblationColors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.AblationColors(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		one, _ := fig.Value("Torus+Shaddr(2M)", 1)
+		six, _ := fig.Value("Torus+Shaddr(2M)", 6)
+		if one > 0 {
+			b.ReportMetric(six/one, "six_color_scaling")
+		}
+	}
+}
+
+// BenchmarkAblationChunk sweeps the software pipeline width.
+func BenchmarkAblationChunk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.AblationChunk(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, _ := fig.Value("Torus+Shaddr(2M)", 2<<10)
+		huge, _ := fig.Value("Torus+Shaddr(2M)", 256<<10)
+		if huge > 0 {
+			b.ReportMetric(small/huge, "pipelining_gain")
+		}
+	}
+}
+
+// BenchmarkAblationFIFO sweeps the Bcast FIFO depth.
+func BenchmarkAblationFIFO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.AblationFIFO(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		shallow, _ := fig.Value("Torus+FIFO(2M)", 2)
+		deep, _ := fig.Value("Torus+FIFO(2M)", 64)
+		if shallow > 0 {
+			b.ReportMetric(deep/shallow, "depth_gain")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package bgpcoll simulates the Blue Gene/P supercomputer's communication
+// stack and reproduces the MPI collective optimizations of Mamidala et al.,
+// "Optimizing MPI Collectives Using Efficient Intra-node Communication
+// Techniques over the Blue Gene/P Supercomputer" (IBM RC25088 / IPDPS 2011).
+//
+// A Job models one MPI application on a simulated partition: a 3D torus of
+// quad-core nodes with DMA engines and a hardware collective network, with
+// one simulated process per MPI rank. Rank programs use an MPI-like API
+// (Bcast, AllreduceSum, Barrier, Send/Recv, Gather, Allgather) whose
+// collective algorithms are the paper's: the production DMA-based designs
+// and the proposed shared-memory, shared-address, and core-specialization
+// designs.
+//
+//	cfg := bgpcoll.DefaultConfig()
+//	job, err := bgpcoll.NewJob(cfg)
+//	...
+//	elapsed, err := job.Run(func(r *bgpcoll.Rank) {
+//		buf := r.NewBuf(1 << 20)
+//		if r.Rank() == 0 {
+//			buf.Fill(42)
+//		}
+//		r.Bcast(buf, 0)
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every figure and table.
+package bgpcoll
+
+import (
+	"sync"
+
+	"bgpcoll/internal/coll"
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// Config describes a simulated partition: torus geometry, operating mode,
+// hardware parameters, and whether buffers carry real data.
+type Config = hw.Config
+
+// Mode is the node operating mode (SMP, Dual, Quad).
+type Mode = hw.Mode
+
+// Operating modes.
+const (
+	SMP  = hw.SMP
+	Dual = hw.Dual
+	Quad = hw.Quad
+)
+
+// Rank is one MPI process in a running job.
+type Rank = mpi.Rank
+
+// Tunables select collective algorithms by name.
+type Tunables = mpi.Tunables
+
+// Buf is a message buffer (real bytes or a timing-only phantom).
+type Buf = data.Buf
+
+// Request is an outstanding nonblocking point-to-point operation.
+type Request = mpi.Request
+
+// Time is virtual time in picoseconds.
+type Time = sim.Time
+
+// DefaultConfig returns a small quad-mode test partition (32 nodes, 128
+// ranks) with real data buffers.
+func DefaultConfig() Config { return hw.DefaultConfig() }
+
+// MidplaneConfig returns a 512-node (2048-rank) quad partition for
+// bandwidth studies.
+func MidplaneConfig() Config { return hw.MidplaneConfig() }
+
+// RackConfig returns the paper's evaluation geometries (1, 2 or 4 racks).
+func RackConfig(racks int) (Config, error) { return hw.RackConfig(racks) }
+
+// Algorithm names accepted by Tunables (see package coll for semantics).
+const (
+	BcastTreeSMP          = mpi.BcastTreeSMP
+	BcastTreeShmem        = mpi.BcastTreeShmem
+	BcastTreeDMAFIFO      = mpi.BcastTreeDMAFIFO
+	BcastTreeDMADirect    = mpi.BcastTreeDMADirect
+	BcastTreeShaddr       = mpi.BcastTreeShaddr
+	BcastTorusDirectPut   = mpi.BcastTorusDirectPut
+	BcastTorusFIFO        = mpi.BcastTorusFIFO
+	BcastTorusShaddr      = mpi.BcastTorusShaddr
+	AllreduceTorusCurrent = mpi.AllreduceTorusCurrent
+	AllreduceTorusNew     = mpi.AllreduceTorusNew
+)
+
+var registerOnce sync.Once
+
+// Job is one MPI application on a simulated partition.
+type Job struct {
+	World *mpi.World
+}
+
+// NewJob builds the partition and runtime for cfg.
+func NewJob(cfg Config) (*Job, error) {
+	registerOnce.Do(coll.Register)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{World: w}, nil
+}
+
+// Tune replaces the job's algorithm selection.
+func (j *Job) Tune(t Tunables) { j.World.Tunables = t }
+
+// Run executes fn on every rank and returns the consumed virtual time.
+func (j *Job) Run(fn func(r *Rank)) (Time, error) { return j.World.Run(fn) }
+
+// NewReal wraps a byte slice as a message buffer.
+func NewReal(b []byte) Buf { return data.Real(b) }

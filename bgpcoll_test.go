@@ -1,0 +1,95 @@
+package bgpcoll_test
+
+import (
+	"testing"
+
+	"bgpcoll"
+	"bgpcoll/internal/data"
+)
+
+func TestJobBroadcastEndToEnd(t *testing.T) {
+	job, err := bgpcoll.NewJob(bgpcoll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msg = 64 << 10
+	elapsed, err := job.Run(func(r *bgpcoll.Rank) {
+		buf := r.NewBuf(msg)
+		if r.Rank() == 0 {
+			buf.Fill(7)
+		}
+		r.Bcast(buf, 0)
+		want := data.New(msg, true)
+		want.Fill(7)
+		if !data.Equal(buf, want) {
+			t.Errorf("rank %d corrupted", r.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestJobAllreduceEndToEnd(t *testing.T) {
+	job, err := bgpcoll.NewJob(bgpcoll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const doubles = 256
+	size := job.World.Size()
+	if _, err := job.Run(func(r *bgpcoll.Rank) {
+		send := r.NewBuf(doubles * data.Float64Len)
+		recv := r.NewBuf(doubles * data.Float64Len)
+		vals := make([]float64, doubles)
+		for i := range vals {
+			vals[i] = 1
+		}
+		send.PutFloats(vals)
+		r.AllreduceSum(send, recv)
+		if got := recv.Floats()[0]; got != float64(size) {
+			t.Errorf("rank %d sum = %v, want %d", r.Rank(), got, size)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobTunables(t *testing.T) {
+	job, err := bgpcoll.NewJob(bgpcoll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun := job.World.Tunables
+	tun.Bcast = bgpcoll.BcastTorusFIFO
+	job.Tune(tun)
+	if _, err := job.Run(func(r *bgpcoll.Rank) {
+		buf := r.NewBuf(8 << 10)
+		r.Bcast(buf, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	if bgpcoll.MidplaneConfig().Nodes() != 512 {
+		t.Error("midplane preset wrong")
+	}
+	cfg, err := bgpcoll.RackConfig(2)
+	if err != nil || cfg.Ranks() != 8192 {
+		t.Errorf("2-rack preset: %v ranks, err %v", cfg.Ranks(), err)
+	}
+	if bgpcoll.Quad.ProcsPerNode() != 4 || bgpcoll.SMP.ProcsPerNode() != 1 || bgpcoll.Dual.ProcsPerNode() != 2 {
+		t.Error("mode constants wrong")
+	}
+}
+
+func TestNewRealBuffer(t *testing.T) {
+	raw := []byte{1, 2, 3}
+	b := bgpcoll.NewReal(raw)
+	if !b.IsReal() || b.Len() != 3 {
+		t.Fatal("NewReal wrapper broken")
+	}
+}

@@ -1,0 +1,64 @@
+// Command bgpbench regenerates the paper's performance study (§VI) on the
+// simulated BG/P machine: Figures 6-10 and Table I, printed as text tables.
+//
+//	bgpbench                     # every figure and table at default scale
+//	bgpbench -exp fig10,table1   # a subset
+//	bgpbench -racks 2            # torus experiments at full 2-rack scale
+//	bgpbench -quick              # trimmed message sweeps for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bgpcoll/internal/bench"
+	"bgpcoll/internal/coll"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiments: fig6,fig7,fig8,fig9,fig10,table1, ablation.colors, ablation.chunk, ablation.fifo, \"ablations\", or all")
+	racks := flag.Int("racks", 0, "racks for partition size (0 = per-experiment default; torus experiments default to a 512-node midplane)")
+	iters := flag.Int("iters", 0, "micro-benchmark iterations (0 = per-experiment default)")
+	quick := flag.Bool("quick", false, "trim message-size sweeps")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	coll.Register()
+	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	ranAny := false
+	all := append(bench.Experiments(), bench.Ablations()...)
+	for _, exp := range all {
+		isAblation := strings.HasPrefix(exp.ID, "ablation.")
+		selected := want[exp.ID] ||
+			(want["all"] && !isAblation) || // "all" = the paper's artifacts
+			(want["ablations"] && isAblation)
+		if !selected {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		fig, err := exp.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: %s: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fig.CSV(os.Stdout)
+		} else {
+			fig.Print(os.Stdout)
+			fmt.Printf("[%s regenerated in %v]\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "bgpbench: no experiment matched %q\n", *exps)
+		os.Exit(2)
+	}
+}

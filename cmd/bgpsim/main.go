@@ -1,0 +1,184 @@
+// Command bgpsim runs one collective operation on a simulated BG/P partition
+// and reports its virtual-time cost, bandwidth, and resource utilization.
+//
+//	bgpsim -op bcast -algo torus.shaddr -size 2M -torus 8x8x8
+//	bgpsim -op allreduce -algo allreduce.current -size 4M -mode smp
+//	bgpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bgpcoll"
+	"bgpcoll/internal/bench"
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/trace"
+)
+
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+func parseTorus(s string) (dx, dy, dz int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("torus must be DXxDYxDZ, got %q", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		dims[i], err = strconv.Atoi(p)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("torus dimension %q: %w", p, err)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
+}
+
+func main() {
+	op := flag.String("op", "bcast", "collective: bcast or allreduce")
+	algo := flag.String("algo", "", "algorithm name (empty = automatic selection)")
+	size := flag.String("size", "1M", "message size (bytes, K or M suffix)")
+	torus := flag.String("torus", "8x8x8", "torus dimensions DXxDYxDZ")
+	mode := flag.String("mode", "quad", "node mode: smp, dual or quad")
+	iters := flag.Int("iters", 1, "micro-benchmark iterations")
+	root := flag.Int("root", 0, "broadcast root rank")
+	list := flag.Bool("list", false, "list registered algorithms and exit")
+	traceN := flag.Int("trace", 0, "record and dump up to N schedule events")
+	flag.Parse()
+
+	// Registering through the facade keeps the registry initialized once.
+	if _, err := bgpcoll.NewJob(bgpcoll.DefaultConfig()); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Println("broadcast algorithms:")
+		for _, n := range mpi.BcastAlgorithms() {
+			fmt.Println("  ", n)
+		}
+		fmt.Println("allreduce algorithms:")
+		fmt.Println("  ", mpi.AllreduceTorusNew)
+		fmt.Println("  ", mpi.AllreduceTorusCurrent)
+		return
+	}
+
+	msg, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(2)
+	}
+	dx, dy, dz, err := parseTorus(*torus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(2)
+	}
+	cfg := hw.DefaultConfig()
+	cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = dx, dy, dz
+	cfg.Functional = false
+	switch strings.ToLower(*mode) {
+	case "smp":
+		cfg.Mode = hw.SMP
+	case "dual":
+		cfg.Mode = hw.Dual
+	case "quad":
+		cfg.Mode = hw.Quad
+	default:
+		fmt.Fprintf(os.Stderr, "bgpsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+	if *traceN > 0 {
+		w.M.Trace = trace.New(*traceN)
+	}
+	var elapsed bgpcoll.Time
+	switch *op {
+	case "bcast":
+		w.Tunables.Bcast = *algo
+		if *algo == "" {
+			w.Tunables = mpi.DefaultTunables()
+		}
+		_, err = w.Run(func(r *mpi.Rank) {
+			buf := r.NewBuf(msg)
+			var sum bgpcoll.Time
+			for i := 0; i < *iters; i++ {
+				r.Barrier()
+				start := r.Now()
+				r.Bcast(buf, *root)
+				sum += r.Now() - start
+			}
+			if avg := sum / bgpcoll.Time(*iters); avg > elapsed {
+				elapsed = avg
+			}
+		})
+	case "allreduce":
+		if *algo != "" {
+			w.Tunables.Allreduce = *algo
+		}
+		if msg%data.Float64Len != 0 {
+			fmt.Fprintln(os.Stderr, "bgpsim: allreduce size must be a multiple of 8")
+			os.Exit(2)
+		}
+		_, err = w.Run(func(r *mpi.Rank) {
+			send := r.NewBuf(msg)
+			recv := r.NewBuf(msg)
+			var sum bgpcoll.Time
+			for i := 0; i < *iters; i++ {
+				r.Barrier()
+				start := r.Now()
+				r.AllreduceSum(send, recv)
+				sum += r.Now() - start
+			}
+			if avg := sum / bgpcoll.Time(*iters); avg > elapsed {
+				elapsed = avg
+			}
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "bgpsim: unknown op %q\n", *op)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("partition:  %s torus, %s mode, %d ranks\n", cfg.Torus, cfg.Mode, cfg.Ranks())
+	fmt.Printf("operation:  %s %s, %s\n", *op, bench.SizeLabel(msg), orAuto(*algo))
+	fmt.Printf("latency:    %v\n", elapsed)
+	fmt.Printf("bandwidth:  %.1f MB/s\n", bench.BandwidthMBs(msg, elapsed))
+	fmt.Println()
+	fmt.Print(w.M.Report(elapsed))
+	if *traceN > 0 {
+		fmt.Println()
+		w.M.Trace.Dump(os.Stdout, *traceN)
+	}
+}
+
+func orAuto(algo string) string {
+	if algo == "" {
+		return "algorithm: auto"
+	}
+	return "algorithm: " + algo
+}

@@ -1,0 +1,124 @@
+// Heat3d: a 3D Jacobi heat-diffusion solver on the simulated machine — the
+// kind of scientific workload whose inner loop the paper's collectives
+// accelerate. The global grid is decomposed into Z-slabs, one per rank;
+// every iteration exchanges halo planes with slab neighbors over the torus
+// point-to-point substrate and computes the global residual with the
+// optimized MPI_Allreduce.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bgpcoll"
+	"bgpcoll/internal/data"
+)
+
+const (
+	nx, ny = 24, 24 // grid points per horizontal plane
+	slabNZ = 4      // Z planes per rank
+	iters  = 40
+)
+
+type slab struct {
+	cur, next [][]float64 // [plane][nx*ny], including two halo planes
+}
+
+func newSlab() *slab {
+	s := &slab{}
+	for p := 0; p < slabNZ+2; p++ {
+		s.cur = append(s.cur, make([]float64, nx*ny))
+		s.next = append(s.next, make([]float64, nx*ny))
+	}
+	return s
+}
+
+// step relaxes the interior and returns the local squared-residual.
+func (s *slab) step() float64 {
+	res := 0.0
+	for p := 1; p <= slabNZ; p++ {
+		for y := 1; y < ny-1; y++ {
+			for x := 1; x < nx-1; x++ {
+				i := y*nx + x
+				v := (s.cur[p][i-1] + s.cur[p][i+1] +
+					s.cur[p][i-nx] + s.cur[p][i+nx] +
+					s.cur[p-1][i] + s.cur[p+1][i]) / 6
+				d := v - s.cur[p][i]
+				res += d * d
+				s.next[p][i] = v
+			}
+		}
+	}
+	s.cur, s.next = s.next, s.cur
+	return res
+}
+
+func planeBuf(plane []float64) bgpcoll.Buf {
+	b := data.Real(make([]byte, len(plane)*data.Float64Len))
+	b.PutFloats(plane)
+	return b
+}
+
+func main() {
+	cfg := bgpcoll.DefaultConfig()
+	cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = 2, 2, 2 // 32 ranks
+	job, err := bgpcoll.NewJob(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var finalResidual float64
+	elapsed, err := job.Run(func(r *bgpcoll.Rank) {
+		s := newSlab()
+		// Hot boundary on the bottom-most slab.
+		if r.Rank() == 0 {
+			for i := range s.cur[1] {
+				s.cur[1][i] = 100
+			}
+		}
+		up, down := r.Rank()+1, r.Rank()-1
+		resBuf := r.NewBuf(data.Float64Len)
+		sumBuf := r.NewBuf(data.Float64Len)
+
+		for it := 0; it < iters; it++ {
+			// Halo exchange with slab neighbors. Nonblocking requests let
+			// all four transfers progress concurrently, like MPI_Isend/
+			// MPI_Irecv halo exchanges in production stencil codes.
+			var reqs []*bgpcoll.Request
+			inUp := r.NewBuf(nx * ny * data.Float64Len)
+			inDown := r.NewBuf(nx * ny * data.Float64Len)
+			if up < r.Size() {
+				reqs = append(reqs,
+					r.Irecv(up, inUp, 2*it),
+					r.Isend(up, planeBuf(s.cur[slabNZ]), 2*it+1))
+			}
+			if down >= 0 {
+				reqs = append(reqs,
+					r.Irecv(down, inDown, 2*it+1),
+					r.Isend(down, planeBuf(s.cur[1]), 2*it))
+			}
+			r.WaitAll(reqs...)
+			if up < r.Size() {
+				copy(s.cur[slabNZ+1], inUp.Floats())
+			}
+			if down >= 0 {
+				copy(s.cur[0], inDown.Floats())
+			}
+
+			local := s.step()
+			resBuf.PutFloats([]float64{local})
+			r.AllreduceSum(resBuf, sumBuf)
+			if r.Rank() == 0 && (it+1)%10 == 0 {
+				finalResidual = math.Sqrt(sumBuf.Floats()[0])
+				fmt.Printf("iter %3d: global residual %.6f (virtual t=%v)\n",
+					it+1, finalResidual, r.Now())
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heat3d: %d ranks, %d iterations in %v of machine time; final residual %.6f\n",
+		cfg.Ranks(), iters, elapsed, finalResidual)
+}

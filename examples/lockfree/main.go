@@ -1,0 +1,141 @@
+// Lockfree: the paper's intra-node concurrent structures (§IV) running on
+// real goroutines — no simulator. The Bcast FIFO broadcasts a stream from a
+// producer to three consumers using only atomic fetch-and-increment, exactly
+// the "any platform supporting fetch and increment" mechanism the paper
+// proposes; software message counters pipeline a direct-copy broadcast the
+// shared-address way.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpcoll/internal/shm"
+)
+
+const (
+	readers   = 3 // the three peer processes of a quad-mode node
+	slotBytes = 8 << 10
+	slots     = 16
+	totalMB   = 64
+)
+
+func bcastFIFODemo() {
+	fifo := shm.NewBcastFIFO(slots, slotBytes, readers)
+	payload := make([]byte, slotBytes)
+	items := totalMB << 20 / slotBytes
+
+	var wg sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		r := fifo.NewReader()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			dst := make([]byte, slotBytes)
+			for i := 0; i < items; i++ {
+				n, conn := r.ReadInto(dst)
+				if conn != i%6 || n != slotBytes {
+					panic(fmt.Sprintf("reader %d: bad item %d", id, i))
+				}
+			}
+		}(rd)
+	}
+
+	start := time.Now()
+	for i := 0; i < items; i++ {
+		// Multiplex six "connections" through one FIFO, as the torus
+		// broadcast multiplexes its six colors (§V-A).
+		fifo.Enqueue(payload, i%6)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	fmt.Printf("BcastFIFO: %d MB through %d slots to %d readers in %v (%.0f MB/s per reader)\n",
+		totalMB, slots, readers, el.Round(time.Millisecond),
+		float64(totalMB)/el.Seconds())
+}
+
+func msgCounterDemo() {
+	// The shared-address pattern: a master "receives" chunks into its
+	// buffer and publishes cumulative byte counts; peers wait on the
+	// counter and copy arrived ranges directly.
+	const chunk = 64 << 10
+	const total = totalMB << 20
+	master := make([]byte, total)
+	var counter shm.MsgCounter
+	var done shm.Completion
+
+	for p := 0; p < readers; p++ {
+		go func() {
+			dst := make([]byte, total)
+			var seen int64
+			for seen < total {
+				avail := counter.Wait(seen + 1)
+				copy(dst[seen:avail], master[seen:avail])
+				seen = avail
+			}
+			done.Signal()
+		}()
+	}
+
+	start := time.Now()
+	for off := 0; off < total; off += chunk {
+		// Simulate network arrival of the next chunk, then mirror the
+		// hardware counter into the software counter.
+		counter.Publish(chunk)
+	}
+	done.Wait(readers)
+	el := time.Since(start)
+	fmt.Printf("MsgCounter: %d MB direct-copied by %d peers in %v (%.0f MB/s per peer)\n",
+		totalMB, readers, el.Round(time.Millisecond), float64(totalMB)/el.Seconds())
+}
+
+func ptpFIFODemo() {
+	fifo := shm.NewPtPFIFO(64)
+	const items = 200000
+	var consumers sync.WaitGroup
+	var consumed atomic.Int64
+	for c := 0; c < 4; c++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				msg := fifo.Dequeue()
+				if msg.Connection < 0 {
+					return // poison pill: this consumer is done
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	var producers sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for i := 0; i < items/2; i++ {
+				fifo.Enqueue(shm.Message{Connection: i})
+			}
+		}()
+	}
+	producers.Wait()
+	// All real items are enqueued (FIFO order): one pill per consumer.
+	for c := 0; c < 4; c++ {
+		fifo.Enqueue(shm.Message{Connection: -1})
+	}
+	consumers.Wait()
+	el := time.Since(start)
+	if consumed.Load() != items {
+		panic(fmt.Sprintf("consumed %d of %d items", consumed.Load(), items))
+	}
+	fmt.Printf("PtPFIFO: %d messages, 2 producers, 4 consumers in %v (%.1f M msgs/s)\n",
+		items, el.Round(time.Millisecond), float64(items)/el.Seconds()/1e6)
+}
+
+func main() {
+	bcastFIFODemo()
+	msgCounterDemo()
+	ptpFIFODemo()
+}

@@ -1,0 +1,66 @@
+// Sweep: explore the tree-vs-torus crossover that drives the runtime's
+// automatic broadcast selection. For each message size, both shared-address
+// algorithms are timed on the same partition; the crossover is where the
+// torus's six-link bandwidth overtakes the collective network's lower
+// latency — the reason BG/P routes short broadcasts to the tree and large
+// ones to the torus (paper §V).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"bgpcoll"
+	"bgpcoll/internal/bench"
+	"bgpcoll/internal/mpi"
+)
+
+func main() {
+	dx := flag.Int("dx", 8, "torus X dimension")
+	dy := flag.Int("dy", 8, "torus Y dimension")
+	dz := flag.Int("dz", 4, "torus Z dimension")
+	flag.Parse()
+
+	cfg := bgpcoll.DefaultConfig()
+	cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = *dx, *dy, *dz
+	cfg.Functional = false
+	if _, err := bgpcoll.NewJob(cfg); err != nil { // registers algorithms
+		log.Fatal(err)
+	}
+
+	sizes := []int{
+		256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+		128 << 10, 256 << 10, 512 << 10, 1 << 20, 4 << 20,
+	}
+	fmt.Printf("Broadcast crossover on a %s quad partition (%d ranks)\n\n", cfg.Torus, cfg.Ranks())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "size\ttree.shaddr\ttorus.shaddr\twinner")
+	crossover := -1
+	for _, msg := range sizes {
+		tTree, err := bench.MeasureBcast(cfg, mpi.BcastTreeShaddr, msg, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tTorus, err := bench.MeasureBcast(cfg, mpi.BcastTorusShaddr, msg, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "tree"
+		if tTorus < tTree {
+			winner = "torus"
+			if crossover < 0 {
+				crossover = msg
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%s\n", bench.SizeLabel(msg), tTree, tTorus, winner)
+	}
+	tw.Flush()
+	if crossover > 0 {
+		fmt.Printf("\ntorus overtakes the collective network at ~%s\n", bench.SizeLabel(crossover))
+	} else {
+		fmt.Println("\nthe collective network won at every size on this partition")
+	}
+}

@@ -1,0 +1,3 @@
+module bgpcoll
+
+go 1.22

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. They are not
+// figures from the paper; they quantify why the paper's parameters are what
+// they are.
+
+// ablationMsg is the message size the ablations probe (the paper's headline
+// large-message point).
+const ablationMsg = 2 << 20
+
+// measureTorusBcast is a helper running one quad torus broadcast.
+func measureTorusBcast(cfg hw.Config, algo string, colors int) (sim.Time, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	w.Tunables.Bcast = algo
+	w.Tunables.TorusColors = colors
+	var worst sim.Time
+	_, err = w.Run(func(r *mpi.Rank) {
+		buf := r.NewBuf(ablationMsg)
+		r.Barrier()
+		start := r.Now()
+		r.Bcast(buf, 0)
+		if d := r.Now() - start; d > worst {
+			worst = d
+		}
+	})
+	return worst, err
+}
+
+// AblationColors sweeps the number of edge-disjoint routes used by the
+// torus shared-address broadcast: bandwidth should scale nearly linearly
+// with the color count until another resource saturates, justifying the
+// six-color design.
+func AblationColors(o Options) (*Figure, error) {
+	cfg, err := torusConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{1, 2, 3, 4, 5, 6}
+	if o.Quick {
+		counts = []int{1, 3, 6}
+	}
+	fig := &Figure{
+		ID:     "AblationColors",
+		Title:  fmt.Sprintf("Torus+Shaddr 2M broadcast vs color count, %d ranks", cfg.Ranks()),
+		XLabel: "colors",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  counts,
+	}
+	s := Series{Label: "Torus+Shaddr(2M)", Values: make([]float64, len(counts))}
+	for i, n := range counts {
+		t, err := measureTorusBcast(cfg, mpi.BcastTorusShaddr, n)
+		if err != nil {
+			return nil, err
+		}
+		s.Values[i] = BandwidthMBs(ablationMsg, t)
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// AblationChunk sweeps the software pipeline width (the paper's Pwidth):
+// small chunks expose per-chunk overheads, huge chunks stall the
+// network/intra-node overlap the message counters exist to create.
+func AblationChunk(o Options) (*Figure, error) {
+	widths := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+	if o.Quick {
+		widths = []int{2 << 10, 16 << 10, 256 << 10}
+	}
+	base, err := torusConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "AblationChunk",
+		Title:  fmt.Sprintf("Torus+Shaddr 2M broadcast vs pipeline width, %d ranks", base.Ranks()),
+		XLabel: "Pwidth",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  widths,
+	}
+	s := Series{Label: "Torus+Shaddr(2M)", Values: make([]float64, len(widths))}
+	for i, w := range widths {
+		cfg := base
+		cfg.Params.MinChunk = w
+		cfg.Params.MaxChunk = w
+		t, err := measureTorusBcast(cfg, mpi.BcastTorusShaddr, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.Values[i] = BandwidthMBs(ablationMsg, t)
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// AblationFIFO sweeps the Bcast FIFO capacity (slot count at the default
+// slot size): a shallow FIFO back-pressures the master's enqueue against
+// the slowest reader, a deep one approaches the shared-address pipeline.
+func AblationFIFO(o Options) (*Figure, error) {
+	slotCounts := []int{2, 4, 8, 16, 32, 64}
+	if o.Quick {
+		slotCounts = []int{2, 16, 64}
+	}
+	base, err := torusConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "AblationFIFO",
+		Title:  fmt.Sprintf("Torus+FIFO 2M broadcast vs FIFO depth (%d B slots), %d ranks", base.Params.FIFOSlotBytes, base.Ranks()),
+		XLabel: "slots",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  slotCounts,
+	}
+	s := Series{Label: "Torus+FIFO(2M)", Values: make([]float64, len(slotCounts))}
+	for i, n := range slotCounts {
+		cfg := base
+		cfg.Params.FIFOSlots = n
+		t, err := measureTorusBcast(cfg, mpi.BcastTorusFIFO, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.Values[i] = BandwidthMBs(ablationMsg, t)
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// Ablations lists the ablation experiments.
+func Ablations() []namedExperiment {
+	return []namedExperiment{
+		{"ablation.colors", AblationColors},
+		{"ablation.chunk", AblationChunk},
+		{"ablation.fifo", AblationFIFO},
+	}
+}

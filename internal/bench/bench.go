@@ -1,0 +1,244 @@
+// Package bench regenerates every figure and table of the paper's
+// performance study (§VI) on the simulated machine: the micro-benchmark loop
+// of Fig. 5 drives the collective under test, and each experiment sweeps the
+// paper's message sizes and algorithm set.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// Options control experiment scale and effort.
+type Options struct {
+	// Racks selects the partition for the collective-network experiments:
+	// 1 or 2 (the paper used 2 = 8192 ranks). Zero means each experiment's
+	// default.
+	Racks int
+	// Iters is the micro-benchmark repetition count (Fig. 5's ITERS).
+	// Zero means each experiment's default.
+	Iters int
+	// Quick trims the message-size sweeps for fast smoke runs.
+	Quick bool
+}
+
+func (o Options) iters(def int) int {
+	if o.Iters > 0 {
+		return o.Iters
+	}
+	return def
+}
+
+// Figure is one reproduced figure or table: a set of series over message
+// sizes.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Sizes  []int
+	Series []Series
+}
+
+// Series is one curve: a label and one value per Figure.Sizes entry.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// CSV renders the figure as comma-separated values for plotting.
+func (f *Figure) CSV(w io.Writer) {
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, f.XLabel)
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintf(w, "# %s: %s (%s)\n", f.ID, f.Title, f.YLabel)
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for i, size := range f.Sizes {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, fmt.Sprintf("%d", size))
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.3f", s.Values[i]))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+	fmt.Fprintln(w)
+}
+
+// Print renders the figure as an aligned text table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "(x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	head := make([]string, 0, len(f.Series)+1)
+	head = append(head, f.XLabel)
+	for _, s := range f.Series {
+		head = append(head, s.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(head, "\t"))
+	for i, size := range f.Sizes {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, SizeLabel(size))
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.2f", s.Values[i]))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Value returns the measurement for (series label, size), for EXPERIMENTS
+// cross-checks.
+func (f *Figure) Value(label string, size int) (float64, bool) {
+	si := -1
+	for i, s := range f.Sizes {
+		if s == size {
+			si = i
+		}
+	}
+	if si < 0 {
+		return 0, false
+	}
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s.Values[si], true
+		}
+	}
+	return 0, false
+}
+
+// SizeLabel formats a byte count the way the paper's axes do.
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// MeasureBcast runs the Fig. 5 micro-benchmark for one broadcast
+// configuration and returns the average per-iteration time (the slowest
+// rank's, as a wall-clock observer would see).
+//
+//	elapsed_time = 0
+//	for i < ITERS { MPI_Barrier; start = MPI_Wtime; MPI_Bcast; elapsed += ... }
+//	elapsed_time /= ITERS
+func MeasureBcast(cfg hw.Config, algo string, msg, iters int) (sim.Time, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	w.Tunables.Bcast = algo
+	var worst sim.Time
+	_, err = w.Run(func(r *mpi.Rank) {
+		buf := r.NewBuf(msg)
+		var elapsed sim.Time
+		for i := 0; i < iters; i++ {
+			r.Barrier()
+			start := r.Now()
+			r.Bcast(buf, 0)
+			elapsed += r.Now() - start
+		}
+		avg := elapsed / sim.Time(iters)
+		if avg > worst {
+			worst = avg
+		}
+	})
+	return worst, err
+}
+
+// MeasureAllreduce runs the micro-benchmark for one allreduce configuration.
+func MeasureAllreduce(cfg hw.Config, algo string, doubles, iters int) (sim.Time, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	w.Tunables.Allreduce = algo
+	bytes := doubles * data.Float64Len
+	var worst sim.Time
+	_, err = w.Run(func(r *mpi.Rank) {
+		send := r.NewBuf(bytes)
+		recv := r.NewBuf(bytes)
+		var elapsed sim.Time
+		for i := 0; i < iters; i++ {
+			r.Barrier()
+			start := r.Now()
+			r.AllreduceSum(send, recv)
+			elapsed += r.Now() - start
+		}
+		avg := elapsed / sim.Time(iters)
+		if avg > worst {
+			worst = avg
+		}
+	})
+	return worst, err
+}
+
+// BandwidthMBs converts a message size and per-operation time to the
+// figures' MB/s metric.
+func BandwidthMBs(msg int, t sim.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(msg) / t.Seconds() / 1e6
+}
+
+// treeConfig returns the collective-network experiment partition.
+func treeConfig(o Options, mode hw.Mode) (hw.Config, error) {
+	racks := o.Racks
+	if racks == 0 {
+		racks = 2 // the paper's 8192-rank system
+	}
+	cfg, err := hw.RackConfig(racks)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Mode = mode
+	return cfg, nil
+}
+
+// torusConfig returns the torus experiment partition: a 512-node midplane by
+// default (steady-state torus bandwidth is scale-insensitive; see DESIGN.md),
+// or full racks when requested.
+func torusConfig(o Options, mode hw.Mode) (hw.Config, error) {
+	if o.Racks == 0 {
+		cfg := hw.MidplaneConfig()
+		cfg.Mode = mode
+		return cfg, nil
+	}
+	return treeConfig(o, mode)
+}
+
+// sweep trims a full message-size list for quick runs, always retaining the
+// first and last sizes and the headline sizes the paper quotes.
+func sweep(quick bool, full []int, keep ...int) []int {
+	if !quick {
+		return full
+	}
+	want := map[int]bool{full[0]: true, full[len(full)-1]: true}
+	for i := 3; i < len(full); i += 3 {
+		want[full[i]] = true
+	}
+	for _, k := range keep {
+		want[k] = true
+	}
+	out := make([]int, 0, len(want))
+	for _, v := range full {
+		if want[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

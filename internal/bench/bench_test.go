@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bgpcoll/internal/coll"
+	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+func init() { coll.Register() }
+
+func tinyConfig() hw.Config {
+	cfg := hw.DefaultConfig()
+	cfg.Torus = geometry.Torus{DX: 2, DY: 2, DZ: 2}
+	cfg.Functional = false
+	return cfg
+}
+
+func TestMeasureBcastMatchesFig5Loop(t *testing.T) {
+	cfg := tinyConfig()
+	one, err := MeasureBcast(cfg, mpi.BcastTorusShaddr, 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := MeasureBcast(cfg, mpi.BcastTorusShaddr, 64<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one <= 0 || three <= 0 {
+		t.Fatal("non-positive measurement")
+	}
+	// Averaging over iterations must not blow up: repeated operations cost
+	// about the same (mapping amortizes, so later iterations are cheaper).
+	if three > one {
+		t.Fatalf("3-iteration average %v exceeds first-iteration time %v", three, one)
+	}
+}
+
+func TestMeasureAllreduce(t *testing.T) {
+	cfg := tinyConfig()
+	el, err := MeasureAllreduce(cfg, mpi.AllreduceTorusNew, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el <= 0 {
+		t.Fatal("non-positive measurement")
+	}
+}
+
+func TestBandwidthMBs(t *testing.T) {
+	if got := BandwidthMBs(1<<20, sim.Millisecond); got < 1048 || got > 1049 {
+		t.Fatalf("1MB/ms = %v MB/s", got)
+	}
+	if BandwidthMBs(100, 0) != 0 {
+		t.Fatal("zero time should yield zero bandwidth")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{8: "8", 1 << 10: "1K", 128 << 10: "128K", 2 << 20: "2M", 1500: "1500"}
+	for n, want := range cases {
+		if got := SizeLabel(n); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSweepKeepsHeadlines(t *testing.T) {
+	full := []int{1, 2, 3, 4, 5, 6, 7}
+	q := sweep(true, full, 5)
+	want := map[int]bool{1: true, 4: true, 5: true, 7: true}
+	for _, v := range q {
+		if !want[v] {
+			t.Fatalf("unexpected size %d in %v", v, q)
+		}
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing sizes %v", want)
+	}
+	if got := sweep(false, full); len(got) != len(full) {
+		t.Fatal("non-quick sweep trimmed")
+	}
+}
+
+func TestFigureValueAndPrint(t *testing.T) {
+	fig := &Figure{
+		ID: "T", Title: "test", XLabel: "size", YLabel: "MB/s",
+		Sizes:  []int{1 << 10, 2 << 10},
+		Series: []Series{{Label: "a", Values: []float64{1, 2}}},
+	}
+	v, ok := fig.Value("a", 2<<10)
+	if !ok || v != 2 {
+		t.Fatalf("Value = %v %v", v, ok)
+	}
+	if _, ok := fig.Value("b", 1<<10); ok {
+		t.Fatal("unknown series found")
+	}
+	if _, ok := fig.Value("a", 3<<10); ok {
+		t.Fatal("unknown size found")
+	}
+	var sb strings.Builder
+	fig.Print(&sb)
+	out := sb.String()
+	for _, frag := range []string{"T: test", "1K", "2K", "a", "2.00"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.iters(3) != 3 {
+		t.Error("default iters ignored")
+	}
+	o.Iters = 7
+	if o.iters(3) != 7 {
+		t.Error("explicit iters ignored")
+	}
+}
+
+// TestExperimentsRegistry ensures the experiment list stays paper-complete.
+func TestExperimentsRegistry(t *testing.T) {
+	want := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Run == nil {
+			t.Errorf("experiment %s has no runner", e.ID)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "T", Title: "t", XLabel: "size", YLabel: "MB/s",
+		Sizes:  []int{1024},
+		Series: []Series{{Label: "a", Values: []float64{1.5}}},
+	}
+	var sb strings.Builder
+	fig.CSV(&sb)
+	out := sb.String()
+	for _, frag := range []string{"size,a", "1024,1.500", "# T: t (MB/s)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("CSV missing %q:\n%s", frag, out)
+		}
+	}
+}

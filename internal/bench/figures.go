@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// bcastSeries measures one broadcast algorithm over the sweep.
+func bcastSeries(cfg hw.Config, label, algo string, sizes []int, iters int, toValue func(msg int, t sim.Time) float64) (Series, error) {
+	s := Series{Label: label, Values: make([]float64, len(sizes))}
+	for i, msg := range sizes {
+		t, err := MeasureBcast(cfg, algo, msg, iters)
+		if err != nil {
+			return s, fmt.Errorf("%s @ %s: %w", label, SizeLabel(msg), err)
+		}
+		s.Values[i] = toValue(msg, t)
+	}
+	return s, nil
+}
+
+func latencyUS(_ int, t sim.Time) float64 { return t.Microseconds() }
+
+// Fig6 reproduces "Latency of MPI Bcast" over the collective network: short
+// messages, quad mode, comparing the shared-memory algorithm, the DMA FIFO
+// algorithm, and the SMP-mode hardware reference.
+func Fig6(o Options) (*Figure, error) {
+	sizes := sweep(o.Quick, []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, 8)
+	iters := o.iters(3)
+	quad, err := treeConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := treeConfig(o, hw.SMP)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig6",
+		Title:  fmt.Sprintf("Latency of MPI_Bcast, collective network, %d ranks", quad.Ranks()),
+		XLabel: "size",
+		YLabel: "latency (us)",
+		Sizes:  sizes,
+	}
+	for _, row := range []struct {
+		label string
+		cfg   hw.Config
+		algo  string
+	}{
+		{"CollectiveNetwork+Shmem", quad, mpi.BcastTreeShmem},
+		{"CollectiveNetwork+DMA FIFO", quad, mpi.BcastTreeDMAFIFO},
+		{"CollectiveNetwork (SMP)", smp, mpi.BcastTreeSMP},
+	} {
+		s, err := bcastSeries(row.cfg, row.label, row.algo, sizes, iters, latencyUS)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig7 reproduces "Bandwidth of MPI Bcast" over the collective network:
+// medium and large messages, comparing the shared-address algorithm against
+// the DMA-based quad algorithms and the SMP reference.
+func Fig7(o Options) (*Figure, error) {
+	sizes := sweep(o.Quick, []int{
+		1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10,
+		256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
+	}, 128<<10)
+	iters := o.iters(3) // amortize one-time window mappings, like the paper's ITERS loop
+	quad, err := treeConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := treeConfig(o, hw.SMP)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig7",
+		Title:  fmt.Sprintf("Bandwidth of MPI_Bcast, collective network, %d ranks", quad.Ranks()),
+		XLabel: "size",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  sizes,
+	}
+	for _, row := range []struct {
+		label string
+		cfg   hw.Config
+		algo  string
+	}{
+		{"CollectiveNetwork+Shaddr", quad, mpi.BcastTreeShaddr},
+		{"CollectiveNetwork+DMA FIFO", quad, mpi.BcastTreeDMAFIFO},
+		{"CollectiveNetwork+DMA Direct Put", quad, mpi.BcastTreeDMADirect},
+		{"CollectiveNetwork (SMP)", smp, mpi.BcastTreeSMP},
+	} {
+		s, err := bcastSeries(row.cfg, row.label, row.algo, sizes, iters, BandwidthMBs)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8 reproduces the system-call overhead study: the shared-address tree
+// broadcast with and without the buffer-mapping cache. Multiple iterations
+// with the same buffers amortize the process-window system calls only when
+// caching is enabled.
+func Fig8(o Options) (*Figure, error) {
+	sizes := sweep(o.Quick, []int{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10,
+		256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
+	}, 1<<10)
+	iters := o.iters(4)
+	cached, err := treeConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	nocache := cached
+	nocache.Params.MapCacheEnabled = false
+	fig := &Figure{
+		ID:     "Fig8",
+		Title:  fmt.Sprintf("Overhead of system calls, %d ranks", cached.Ranks()),
+		XLabel: "size",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  sizes,
+	}
+	for _, row := range []struct {
+		label string
+		cfg   hw.Config
+	}{
+		{"CollectiveNetwork+Shaddr+caching", cached},
+		{"CollectiveNetwork+Shaddr+nocaching", nocache},
+	} {
+		s, err := bcastSeries(row.cfg, row.label, mpi.BcastTreeShaddr, sizes, iters, BandwidthMBs)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9 reproduces the scaling study: the shared-address tree broadcast at
+// 1024, 2048, 4096 and 8192 ranks. The collective network's bandwidth is
+// scale-invariant; only the traversal latency grows.
+func Fig9(o Options) (*Figure, error) {
+	sizes := sweep(o.Quick, []int{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+	}, 4<<20)
+	iters := o.iters(3)
+	geoms := []struct {
+		ranks int
+		torus [3]int
+	}{
+		{1024, [3]int{8, 8, 4}},
+		{2048, [3]int{8, 8, 8}},
+		{4096, [3]int{8, 8, 16}},
+		{8192, [3]int{16, 8, 16}},
+	}
+	fig := &Figure{
+		ID:     "Fig9",
+		Title:  "Performance with increasing scale (CollectiveNetwork+Shaddr)",
+		XLabel: "size",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  sizes,
+	}
+	for _, g := range geoms {
+		cfg := hw.DefaultConfig()
+		cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = g.torus[0], g.torus[1], g.torus[2]
+		cfg.Mode = hw.Quad
+		cfg.Functional = false
+		label := fmt.Sprintf("CollectiveNetwork+Shaddr(%d)", g.ranks)
+		s, err := bcastSeries(cfg, label, mpi.BcastTreeShaddr, sizes, iters, BandwidthMBs)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig10 reproduces "Bandwidth of MPI Bcast" over the torus: large messages,
+// comparing the shared-address and Bcast-FIFO algorithms against the DMA
+// direct-put broadcast in quad and SMP modes.
+func Fig10(o Options) (*Figure, error) {
+	sizes := sweep(o.Quick, []int{
+		64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
+	}, 2<<20, 4<<20)
+	iters := o.iters(1)
+	quad, err := torusConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := torusConfig(o, hw.SMP)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Fig10",
+		Title:  fmt.Sprintf("Bandwidth of MPI_Bcast, 3D torus, %d ranks", quad.Ranks()),
+		XLabel: "size",
+		YLabel: "bandwidth (MB/s)",
+		Sizes:  sizes,
+	}
+	for _, row := range []struct {
+		label string
+		cfg   hw.Config
+		algo  string
+	}{
+		{"Torus+Shaddr", quad, mpi.BcastTorusShaddr},
+		{"Torus+FIFO", quad, mpi.BcastTorusFIFO},
+		{"Torus Direct Put", quad, mpi.BcastTorusDirectPut},
+		{"Torus Direct Put(SMP)", smp, mpi.BcastTorusDirectPut},
+	} {
+		s, err := bcastSeries(row.cfg, row.label, row.algo, sizes, iters, BandwidthMBs)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table1 reproduces "Allreduce throughput": doubles counts from 16K to 512K,
+// the proposed core-specialized algorithm against the current DMA-based one.
+func Table1(o Options) (*Figure, error) {
+	doubleCounts := sweep(o.Quick, []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}, 512<<10)
+	iters := o.iters(1)
+	cfg, err := torusConfig(o, hw.Quad)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "TableI",
+		Title:  fmt.Sprintf("Allreduce throughput (doubles), 3D torus, %d ranks", cfg.Ranks()),
+		XLabel: "doubles",
+		YLabel: "throughput (MB/s)",
+		Sizes:  doubleCounts,
+	}
+	for _, row := range []struct {
+		label string
+		algo  string
+	}{
+		{"New (MB/s)", mpi.AllreduceTorusNew},
+		{"Current (MB/s)", mpi.AllreduceTorusCurrent},
+	} {
+		s := Series{Label: row.label, Values: make([]float64, len(doubleCounts))}
+		for i, doubles := range doubleCounts {
+			t, err := MeasureAllreduce(cfg, row.algo, doubles, iters)
+			if err != nil {
+				return nil, err
+			}
+			s.Values[i] = BandwidthMBs(doubles*data.Float64Len, t)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// namedExperiment binds an experiment id to its runner.
+type namedExperiment struct {
+	ID  string
+	Run func(Options) (*Figure, error)
+}
+
+// Experiments lists every reproducible artifact in paper order.
+func Experiments() []namedExperiment {
+	return []namedExperiment{
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"table1", Table1},
+	}
+}

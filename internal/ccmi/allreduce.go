@@ -1,0 +1,270 @@
+package ccmi
+
+import (
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/machine"
+	"bgpcoll/internal/sim"
+	"bgpcoll/internal/trace"
+)
+
+// Allreduce executes the pipelined torus allreduce network schedule of
+// paper §V-C. The payload is split across Colors (three on a torus: the
+// reduce phase travels on the reversed-direction links of each color's
+// broadcast tree, so opposite-sign colors cannot run concurrently).
+//
+// Per color, each node's locally reduced contribution flows up a chain
+// schedule: last-dimension lines chain into the root plane, middle-dimension
+// lines into the root axis, and the first-dimension line into the root.
+// Every hop combines at the node's protocol core (ProtoPipes) and charges
+// DMA and links. As each chunk completes at the root it is broadcast back
+// down the color's forward rectangle tree, overlapping with the reduction of
+// later chunks — the paper's reduce/broadcast pipelining.
+//
+// Node contributions become available incrementally: rank protocols feed
+// Contrib[node][color] with cumulative ready bytes within that color's
+// partition, and ContribBufs[node] hold the locally reduced data in
+// functional runs. Reduced results are copied into ResultBufs and published
+// via Deliveries.
+type Allreduce struct {
+	M      *machine.Machine
+	Root   geometry.Coord
+	Bytes  int
+	Colors []geometry.Color
+	Lane0  int // reduce uses lanes Lane0+i, broadcast-down lanes Lane0+len(Colors)+i
+
+	Contrib     [][]*sim.Counter // [node][color]: partition bytes locally reduced
+	ContribBufs []data.Buf       // per node: locally-reduced vectors (may be phantom)
+	ResultBufs  []data.Buf       // per node: where the reduced result lands
+	Deliveries  []*Delivery      // per node: result arrival logs
+	ProtoPipes  []*sim.Pipe      // per node: the protocol core performing hop combines
+
+	// ReduceOnly skips the broadcast-down phase: reduced chunks are
+	// delivered to the root node only (MPI_Reduce).
+	ReduceOnly bool
+}
+
+// Run starts the network schedule; it returns immediately and progresses
+// event-driven as contributions become ready.
+func (a *Allreduce) Run() {
+	offs, lens := geometry.SplitAligned(a.Bytes, len(a.Colors), data.Float64Len)
+	for i, color := range a.Colors {
+		chunks := a.M.Cfg.Params.Chunks(lens[i])
+		ar := &colorReduce{
+			a:        a,
+			color:    color,
+			colorIdx: i,
+			lane:     a.Lane0 + i,
+		}
+		ar.init(chunks, offs[i])
+		// The down phase reuses the rectangle broadcast machinery, gated
+		// chunk by chunk on reduction completion at the root.
+		ar.down = newColorRun(a.M, a.Root, color, a.Lane0+len(a.Colors)+i, chunks, offs[i])
+		ar.down.deliver = func(node int, span hw.Span, t sim.Time) {
+			rootID := a.M.Geom.NodeID(a.Root)
+			if node != rootID && a.ResultBufs[node].Len() > 0 && span.Len > 0 {
+				dst, src := a.ResultBufs[node], a.ResultBufs[rootID]
+				a.M.K.At(t, func() {
+					data.Copy(dst.Slice(span.Off, span.Len), src.Slice(span.Off, span.Len))
+				})
+			}
+			a.Deliveries[node].Deliver(a.M.K, t, span)
+		}
+		ar.start()
+	}
+}
+
+// colorReduce drives one color's reduce chains.
+type colorReduce struct {
+	a        *Allreduce
+	color    geometry.Color
+	colorIdx int
+	lane     int
+	dims     []geometry.Dim
+	spans    []hw.Span
+	baseOff  int
+
+	// state[node][chunk] counts combined input streams; a chunk forwards
+	// when all streams have arrived and its combines finished.
+	state [][]chunkState
+	need  []int // input streams per node (own contribution + chains ending here)
+
+	down *colorRun
+}
+
+type chunkState struct {
+	arrived int
+	readyAt sim.Time // latest combine completion among arrived streams
+}
+
+func (cr *colorReduce) init(chunks []hw.Span, baseOff int) {
+	m := cr.a.M
+	cr.baseOff = baseOff
+	cr.spans = make([]hw.Span, len(chunks))
+	for i, c := range chunks {
+		cr.spans[i] = hw.Span{Off: baseOff + c.Off, Len: c.Len}
+	}
+	for _, d := range cr.color.Order {
+		if m.Geom.Size(d) > 1 {
+			cr.dims = append(cr.dims, d)
+		}
+	}
+	nodes := m.Geom.Nodes()
+	cr.state = make([][]chunkState, nodes)
+	cr.need = make([]int, nodes)
+	for n := 0; n < nodes; n++ {
+		cr.state[n] = make([]chunkState, len(cr.spans))
+		cr.need[n] = 1 // own contribution
+	}
+	// The reduce tree is the exact reverse of the broadcast tree: each
+	// node's combined partial flows to its successor. Count in-edges.
+	for n := 0; n < nodes; n++ {
+		if succ, _, ok := cr.succ(m.Geom.CoordOf(n)); ok {
+			cr.need[m.Geom.NodeID(succ)]++
+		}
+	}
+}
+
+// lastDiffer returns the index in dims of the last dimension in which v
+// differs from the root, or -1 for the root itself. It is the dimension
+// along which v received in the broadcast tree, and along which v sends in
+// the reduce chains.
+func (cr *colorReduce) lastDiffer(v geometry.Coord) int {
+	last := -1
+	for i, d := range cr.dims {
+		if v.Get(d) != cr.a.Root.Get(d) {
+			last = i
+		}
+	}
+	return last
+}
+
+// succ returns the node v forwards its combined partial to, the dimension of
+// the hop, and ok=false for the root (the final accumulator). Mirroring the
+// broadcast tree's patch rule, root-column nodes hand their partials to
+// their mirror in the predecessor plane, so the root's ingress — and hence
+// its protocol core's combine load — is a single stream per color.
+func (cr *colorReduce) succ(v geometry.Coord) (geometry.Coord, geometry.Dim, bool) {
+	root := cr.a.Root
+	if v == root || len(cr.dims) == 0 {
+		return geometry.Coord{}, 0, false
+	}
+	m := cr.a.M
+	d0 := cr.dims[0]
+	if v.Get(d0) == root.Get(d0) {
+		// Root-column node: one hop into the mirror plane.
+		return m.Geom.Neighbor(v, d0, -cr.color.Dir), d0, true
+	}
+	d := cr.dims[cr.lastDiffer(v)]
+	return m.Geom.Neighbor(v, d, -cr.color.Dir), d, true
+}
+
+// start subscribes to every node's contribution counter, chunk by chunk.
+func (cr *colorReduce) start() {
+	m := cr.a.M
+	for n := 0; n < m.Geom.Nodes(); n++ {
+		n := n
+		coord := m.Geom.CoordOf(n)
+		for c, span := range cr.spans {
+			c, span := c, span
+			// Thresholds are relative to this color's partition.
+			threshold := int64(span.Off + span.Len - cr.baseOff)
+			cr.a.Contrib[n][cr.colorIdx].OnGE(threshold, func() {
+				// The node's own contribution for this chunk is ready;
+				// functionally, fold it into the root's accumulator once.
+				cr.foldContribution(n, span)
+				cr.streamArrived(coord, c, m.K.Now(), 0)
+			})
+		}
+		_ = n
+	}
+	if len(cr.spans) == 0 {
+		return
+	}
+}
+
+// foldContribution adds node n's local vector for span into the root's
+// result accumulator (real data only; combining is commutative, so folding
+// at contribution time is equivalent to chain order for the integer-valued
+// test vectors and documented as such).
+func (cr *colorReduce) foldContribution(n int, span hw.Span) {
+	rootID := cr.a.M.Geom.NodeID(cr.a.Root)
+	res := cr.a.ResultBufs[rootID]
+	contrib := cr.a.ContribBufs[n]
+	if res.Len() == 0 || contrib.Len() == 0 || span.Len == 0 {
+		return
+	}
+	data.AddFloats(res.Slice(span.Off, span.Len), contrib.Slice(span.Off, span.Len))
+}
+
+// streamArrived records one input stream's chunk at node v. combineCost is
+// the payload size to charge the protocol core (zero for the node's own
+// contribution, which seeds the accumulator).
+func (cr *colorReduce) streamArrived(v geometry.Coord, chunk int, at sim.Time, combineCost int) {
+	m := cr.a.M
+	n := m.Geom.NodeID(v)
+	st := &cr.state[n][chunk]
+	ready := at
+	if combineCost > 0 {
+		ready = cr.a.ProtoPipes[n].ReserveFrom(at, combineCost)
+	}
+	if ready > st.readyAt {
+		st.readyAt = ready
+	}
+	st.arrived++
+	if st.arrived > cr.need[n] {
+		panic("ccmi: allreduce stream overflow")
+	}
+	if st.arrived == cr.need[n] {
+		cr.chunkReady(v, chunk, st.readyAt)
+	}
+}
+
+// chunkReady fires when node v has fully combined chunk: it forwards the
+// partial down its chain, or — at the root — releases the chunk for the
+// broadcast-down phase.
+func (cr *colorReduce) chunkReady(v geometry.Coord, chunk int, at sim.Time) {
+	m := cr.a.M
+	next, d, ok := cr.succ(v)
+	if !ok { // root: reduction of this chunk complete
+		m.Trace.Addf(at, trace.Proto, m.Geom.NodeID(v),
+			"allreduce %v chunk %d reduced at root", cr.color, chunk)
+		if cr.a.ReduceOnly {
+			rootID := m.Geom.NodeID(cr.a.Root)
+			cr.a.Deliveries[rootID].Deliver(m.K, at, cr.spans[chunk])
+			return
+		}
+		m.K.At(at, func() {
+			// Chunks complete in order along each chain, but guard anyway:
+			// allow everything up to this chunk.
+			cr.down.allowChunks(chunk + 1)
+		})
+		return
+	}
+	span := cr.spans[chunk]
+	wire := m.Torus.WireBytes(span.Len)
+	m.K.At(at, func() {
+		injDone := m.NodeAt(v).DMA.Inject(m.K.Now(), wire)
+		// The partial travels one hop toward the root on the
+		// reversed-direction link.
+		to, arriveAt := m.Torus.NeighborSend(injDone, v, d, -cr.color.Dir, cr.lane, span.Len)
+		if to != next {
+			panic("ccmi: reduce hop mismatch")
+		}
+		m.K.At(arriveAt, func() {
+			rx := m.NodeAt(to).DMA.Receive(m.K.Now(), wire)
+			m.K.At(rx, func() {
+				cr.streamArrived(to, chunk, m.K.Now(), span.Len)
+			})
+		})
+	})
+}
+
+func directedDistance(t geometry.Torus, from, to geometry.Coord, d geometry.Dim, dir geometry.Dir) int {
+	n := t.Size(d)
+	if dir == geometry.Plus {
+		return ((to.Get(d)-from.Get(d))%n + n) % n
+	}
+	return ((from.Get(d)-to.Get(d))%n + n) % n
+}

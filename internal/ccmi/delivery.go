@@ -1,0 +1,38 @@
+package ccmi
+
+import (
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/sim"
+)
+
+// Delivery records what a collective schedule has delivered to one node: an
+// ordered log of payload spans plus a byte counter that simulated processes
+// wait on. It is the software-visible face of the DMA byte counters: rank
+// protocols poll the counter and then process the newly logged spans.
+type Delivery struct {
+	Counter *sim.Counter
+	Spans   []hw.Span
+}
+
+// NewDelivery creates an empty delivery log.
+func NewDelivery(k *sim.Kernel, name string) *Delivery {
+	return &Delivery{Counter: k.NewCounter(name)}
+}
+
+// Deliver schedules the arrival of span at time t: the span is appended to
+// the log and the byte counter advances.
+func (d *Delivery) Deliver(k *sim.Kernel, t sim.Time, span hw.Span) {
+	k.At(t, func() {
+		d.Spans = append(d.Spans, span)
+		d.Counter.Add(int64(span.Len))
+	})
+}
+
+// Drain returns the spans logged beyond *seen and advances *seen past them.
+// Rank protocols call it after the counter moves to learn exactly which
+// byte ranges arrived.
+func (d *Delivery) Drain(seen *int) []hw.Span {
+	spans := d.Spans[*seen:]
+	*seen = len(d.Spans)
+	return spans
+}

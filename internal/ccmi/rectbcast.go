@@ -1,0 +1,225 @@
+package ccmi
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/machine"
+	"bgpcoll/internal/sim"
+	"bgpcoll/internal/trace"
+)
+
+// Bcast executes the multi-color rectangle broadcast over the torus
+// (paper §V-A). The message is split across the colors; each color pumps its
+// partition chunk by chunk down its edge-disjoint spanning tree, pacing
+// injection against the drain of the root's link. Every hop charges the
+// forwarding node's DMA engine for injection and the receiving node's DMA
+// engine for reception, so quad-mode algorithms that additionally use the
+// DMA for intra-node copies contend exactly as on the real machine.
+//
+// Completion is observable per node through the Deliveries logs.
+type Bcast struct {
+	M          *machine.Machine
+	Root       geometry.Coord
+	Src        data.Buf    // the root's source buffer
+	Bufs       []data.Buf  // per node: where delivered data lands (zero = timing only)
+	Deliveries []*Delivery // per node: arrival logs (required)
+	Colors     []geometry.Color
+	Lane0      int // first link lane; color i uses lane Lane0+i
+
+	// Hook, if set, observes every per-node delivery at its virtual time,
+	// before the Delivery log records it. Algorithms use it to chain
+	// DMA-driven intra-node distribution onto network arrivals.
+	Hook func(node int, span hw.Span, t sim.Time)
+}
+
+// Run starts all color pumps at the current virtual time and returns
+// immediately; progress continues event-driven.
+func (b *Bcast) Run() {
+	if len(b.Deliveries) != b.M.Geom.Nodes() {
+		panic("ccmi: Bcast needs one Delivery per node")
+	}
+	offs, lens := geometry.SplitColors(b.Src.Len(), len(b.Colors))
+	for i, color := range b.Colors {
+		cr := newColorRun(b.M, b.Root, color, b.Lane0+i, b.M.Cfg.Params.Chunks(lens[i]), offs[i])
+		cr.deliver = func(node int, span hw.Span, t sim.Time) {
+			if b.Hook != nil {
+				b.Hook(node, span, t)
+			}
+			if node != b.M.Geom.NodeID(b.Root) && b.Bufs[node].Len() > 0 && span.Len > 0 {
+				dst, src := b.Bufs[node], b.Src
+				b.M.K.At(t, func() {
+					data.Copy(dst.Slice(span.Off, span.Len), src.Slice(span.Off, span.Len))
+				})
+			}
+			b.Deliveries[node].Deliver(b.M.K, t, span)
+		}
+		cr.readyChunks = len(cr.spans) // plain broadcast: everything ready now
+		cr.pump()
+	}
+}
+
+// colorRun drives one color's spanning tree. It is shared between Bcast and
+// the down-phase of Allreduce (which gates chunk injection on reduction
+// completion via readyChunks).
+type colorRun struct {
+	m     *machine.Machine
+	root  geometry.Coord
+	color geometry.Color
+	lane  int
+
+	dims []geometry.Dim // color order restricted to dimensions of size > 1
+	w    geometry.Coord // the root's d0 predecessor: owner of the mirror plane
+
+	spans       []hw.Span // absolute chunk spans, in pump order
+	next        int       // next chunk to inject
+	readyChunks int       // chunks permitted to inject (monotone)
+	gate        sim.Time  // pacing: next injection may not precede this
+	pumping     bool
+
+	deliver func(node int, span hw.Span, t sim.Time)
+}
+
+func newColorRun(m *machine.Machine, root geometry.Coord, color geometry.Color, lane int, chunks []hw.Span, baseOff int) *colorRun {
+	cr := &colorRun{m: m, root: root, color: color, lane: lane}
+	cr.spans = make([]hw.Span, len(chunks))
+	for i, c := range chunks {
+		cr.spans[i] = hw.Span{Off: baseOff + c.Off, Len: c.Len}
+	}
+	for _, d := range color.Order {
+		if m.Geom.Size(d) > 1 {
+			cr.dims = append(cr.dims, d)
+		}
+	}
+	if len(cr.dims) > 0 {
+		cr.w = m.Geom.Neighbor(root, cr.dims[0], -color.Dir)
+	}
+	return cr
+}
+
+// allowChunks raises the injection permit to n chunks and restarts the pump.
+func (cr *colorRun) allowChunks(n int) {
+	if n > cr.readyChunks {
+		cr.readyChunks = n
+	}
+	cr.pump()
+}
+
+// pump injects the next permitted chunk. Re-entrant safe: only one injection
+// chain is in flight at a time; pacing continues from the link drain.
+func (cr *colorRun) pump() {
+	if cr.pumping || cr.next >= len(cr.spans) || cr.next >= cr.readyChunks {
+		return
+	}
+	cr.pumping = true
+	span := cr.spans[cr.next]
+	cr.next++
+	k := cr.m.K
+
+	start := cr.gate
+	if now := k.Now(); now > start {
+		start = now
+	}
+	cr.m.Trace.Addf(start, trace.Proto, cr.m.Geom.NodeID(cr.root),
+		"bcast %v pump chunk [%d:%d)", cr.color, span.Off, span.Off+span.Len)
+	// The root's master sees the chunk locally as it is injected, pacing
+	// the root node's own intra-node pipeline with the network.
+	cr.deliver(cr.m.Geom.NodeID(cr.root), span, start)
+
+	if len(cr.dims) == 0 { // single-node partition: nothing to send
+		cr.pumping = false
+		k.At(start, cr.pump)
+		return
+	}
+
+	wire := cr.m.Torus.WireBytes(span.Len)
+	injDone := cr.m.NodeAt(cr.root).DMA.Inject(start, wire)
+	k.At(injDone, func() {
+		arrivals, firstStart := cr.m.Torus.LineBcast(k.Now(), cr.root, cr.dims[0], cr.color.Dir, cr.lane, span.Len)
+		for _, a := range arrivals {
+			cr.arrive(a.Node, span, a.At)
+		}
+		// Next chunk may inject once this one has entered the first link.
+		cr.gate = firstStart
+		cr.pumping = false
+		k.At(maxTime(firstStart, k.Now()), cr.pump)
+	})
+}
+
+// arrive processes the network arrival of span at node v: DMA reception,
+// delivery, and the node's forwarding duties in the spanning tree.
+func (cr *colorRun) arrive(v geometry.Coord, span hw.Span, netAt sim.Time) {
+	k := cr.m.K
+	wire := cr.m.Torus.WireBytes(span.Len)
+	k.At(netAt, func() {
+		rx := cr.m.NodeAt(v).DMA.Receive(k.Now(), wire)
+		k.At(rx, func() {
+			cr.m.Trace.Addf(k.Now(), trace.Net, cr.m.Geom.NodeID(v),
+				"bcast %v chunk [%d:%d) delivered", cr.color, span.Off, span.Off+span.Len)
+			cr.deliver(cr.m.Geom.NodeID(v), span, k.Now())
+			cr.forward(v, span)
+		})
+	})
+}
+
+// forward executes v's spanning-tree duties for one chunk: an optional
+// one-hop mirror patch toward the root column, then deposit-bit line
+// broadcasts along each later dimension. Successive injections serialize on
+// v's DMA engine.
+func (cr *colorRun) forward(v geometry.Coord, span hw.Span) {
+	lines, patch := cr.duties(v)
+	k := cr.m.K
+	wire := cr.m.Torus.WireBytes(span.Len)
+	t := k.Now()
+	dma := cr.m.NodeAt(v).DMA
+	if patch {
+		injDone := dma.Inject(t, wire)
+		to, at := cr.m.Torus.NeighborSend(injDone, v, cr.dims[0], cr.color.Dir, cr.lane, span.Len)
+		cr.arrive(to, span, at)
+		t = injDone
+	}
+	for _, d := range lines {
+		d := d
+		injDone := dma.Inject(t, wire)
+		k.At(injDone, func() {
+			arrivals, _ := cr.m.Torus.LineBcast(k.Now(), v, d, cr.color.Dir, cr.lane, span.Len)
+			for _, a := range arrivals {
+				cr.arrive(a.Node, span, a.At)
+			}
+		})
+		t = injDone
+	}
+}
+
+// duties returns the dimensions along which v must line-broadcast and
+// whether v performs the one-hop mirror patch. See the package comment for
+// the tree construction; TestBcastSpanningTree verifies single coverage.
+func (cr *colorRun) duties(v geometry.Coord) (lines []geometry.Dim, patch bool) {
+	if v == cr.root {
+		panic("ccmi: duties of root")
+	}
+	d0 := cr.dims[0]
+	if v.Get(d0) == cr.root.Get(d0) {
+		return nil, false // patched column: subtree covered by mirrors
+	}
+	last := 0
+	for i, d := range cr.dims {
+		if v.Get(d) != cr.root.Get(d) {
+			last = i
+		}
+	}
+	return cr.dims[last+1:], v.Get(d0) == cr.w.Get(d0) && v != cr.w
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (cr *colorRun) String() string {
+	return fmt.Sprintf("colorRun{%v lane %d, %d chunks}", cr.color, cr.lane, len(cr.spans))
+}

@@ -1,0 +1,139 @@
+// Package cnk models the Compute Node Kernel's process-window support
+// (paper §III-B): the system-call interface that lets a process map a peer
+// process's memory into its own address space, enabling the shared-address
+// communication schemes.
+//
+// Mapping a peer buffer costs two system calls per TLB-slot-sized region
+// (translate VA to PA on the owner, then map the PA locally). Each process
+// has N TLB slots reserved for process windows (default three, one per peer
+// in quad mode); mapping more distinct regions than slots evicts the least
+// recently used mapping, which must then be re-established on next use.
+// Repeatedly used buffers are looked up in a mapping cache, the optimization
+// evaluated in the paper's Fig. 8.
+package cnk
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/sim"
+)
+
+// BufferKey identifies an application buffer of a peer process for mapping
+// purposes: the owner's local rank and an application-chosen buffer tag.
+type BufferKey struct {
+	OwnerLocalRank int
+	Tag            uint64
+}
+
+// Process is the per-process process-window state.
+type Process struct {
+	node      *hw.Node
+	localRank int
+
+	// mapped holds the buffer regions currently resident in TLB slots, in
+	// least-recently-used order (front = coldest).
+	mapped []regionKey
+
+	// Stats.
+	Syscalls  int64 // total system calls issued
+	MapCalls  int64 // Map invocations
+	CacheHits int64 // Map invocations fully served by resident mappings
+	Evictions int64 // TLB slot evictions
+}
+
+type regionKey struct {
+	buf    BufferKey
+	region int // index of the TLB-slot-sized region within the buffer
+}
+
+// NewProcess creates process-window state for the process with the given
+// local rank on node n.
+func NewProcess(n *hw.Node, localRank int) *Process {
+	return &Process{node: n, localRank: localRank}
+}
+
+// Map establishes (or refreshes) the process windows needed for this process
+// to access `bytes` bytes of the peer buffer identified by key, advancing p
+// by the system-call cost of any regions that are not already resident. It
+// returns the number of system calls issued.
+//
+// With the mapping cache disabled (Params.MapCacheEnabled == false), every
+// call pays the full system-call cost again, reproducing the "nocaching"
+// curve of Fig. 8.
+func (w *Process) Map(p *sim.Proc, key BufferKey, bytes int) int {
+	if key.OwnerLocalRank == w.localRank {
+		return 0 // own memory needs no window
+	}
+	w.MapCalls++
+	params := w.node.P
+	regions := 1
+	if bytes > params.TLBSlotBytes {
+		regions = (bytes + params.TLBSlotBytes - 1) / params.TLBSlotBytes
+	}
+	calls := 0
+	hit := true
+	for r := 0; r < regions; r++ {
+		rk := regionKey{buf: key, region: r}
+		if params.MapCacheEnabled && w.resident(rk) {
+			w.touch(rk)
+			continue
+		}
+		hit = false
+		calls += params.MapSyscalls
+		w.insert(rk)
+	}
+	if hit {
+		w.CacheHits++
+	}
+	if calls > 0 {
+		w.Syscalls += int64(calls)
+		p.Sleep(sim.Time(calls) * params.SyscallTime)
+	}
+	return calls
+}
+
+// resident reports whether rk occupies a TLB slot.
+func (w *Process) resident(rk regionKey) bool {
+	for _, m := range w.mapped {
+		if m == rk {
+			return true
+		}
+	}
+	return false
+}
+
+// touch moves rk to the most-recently-used position.
+func (w *Process) touch(rk regionKey) {
+	for i, m := range w.mapped {
+		if m == rk {
+			copy(w.mapped[i:], w.mapped[i+1:])
+			w.mapped[len(w.mapped)-1] = rk
+			return
+		}
+	}
+}
+
+// insert adds rk, evicting the least recently used mapping if all TLB slots
+// are occupied.
+func (w *Process) insert(rk regionKey) {
+	slots := w.node.P.TLBSlots
+	if slots <= 0 {
+		panic("cnk: process windows with zero TLB slots")
+	}
+	if len(w.mapped) >= slots {
+		w.Evictions++
+		copy(w.mapped, w.mapped[1:])
+		w.mapped = w.mapped[:len(w.mapped)-1]
+	}
+	w.mapped = append(w.mapped, rk)
+}
+
+// Resident returns the number of occupied TLB slots.
+func (w *Process) Resident() int { return len(w.mapped) }
+
+// String summarizes mapping statistics.
+func (w *Process) String() string {
+	return fmt.Sprintf("cnk.Process{lrank=%d maps=%d hits=%d syscalls=%d evictions=%d}",
+		w.localRank, w.MapCalls, w.CacheHits, w.Syscalls, w.Evictions)
+}

@@ -1,0 +1,345 @@
+package coll
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/ccmi"
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// allreduceColors is the color count of the torus allreduce: the reduce
+// phase runs on the reversed-direction links of each color's broadcast tree,
+// so only the three positive-direction colors can run concurrently (§V-C).
+const allreduceColors = 3
+
+// allreduceState is the job-wide shared state of one torus allreduce.
+type allreduceState struct {
+	exec *ccmi.Allreduce
+
+	// Per node.
+	contrib [][]*sim.Counter // [node][color]: locally reduced bytes ready
+	scratch []data.Buf       // node contribution vector (master-owned)
+	result  []data.Buf       // master's receive buffer (the network target)
+	dels    []*ccmi.Delivery
+	proto   []*sim.Pipe    // the master core as protocol processor
+	ready   []*sim.Counter // local ranks that registered their send buffers
+	peer    [][]*sim.Counter
+	stage   [][]*sim.Counter // [node][lrank]: staged bytes DMA-delivered to that core
+
+	sends []data.Buf // per rank: registered send buffers
+}
+
+const allreduceKind = "allreduce"
+
+// getAllreduceState builds the shared state. protoCores scales the protocol
+// pipe: the current algorithm spreads network combining over the node's MPI
+// progress engines, while the proposed design dedicates exactly one core
+// ("a dedicated core performs allreduce protocol processing").
+func getAllreduceState(r *mpi.Rank, seq int64, bytes int, protoCores float64) *allreduceState {
+	return r.WorldShared(seq, allreduceKind, func() any {
+		return newAllreduceShared(r, seq, bytes, protoCores)
+	}).(*allreduceState)
+}
+
+// newAllreduceShared allocates the per-node counters, buffers, deliveries
+// and protocol pipes shared by the allreduce-family collectives.
+func newAllreduceShared(r *mpi.Rank, seq int64, bytes int, protoCores float64) *allreduceState {
+	{
+		m := r.Machine()
+		nodes := m.Geom.Nodes()
+		ppn := r.LocalSize()
+		functional := m.Cfg.Functional
+		cached := m.Nodes[0].HW.Cached((2*ppn + 2) * bytes)
+		rate := m.Cfg.Params.ReduceBps
+		if !cached {
+			rate = m.Cfg.Params.ReduceDRAMBps
+		}
+		rate *= protoCores
+		st := &allreduceState{
+			contrib: make([][]*sim.Counter, nodes),
+			scratch: make([]data.Buf, nodes),
+			result:  make([]data.Buf, nodes),
+			dels:    make([]*ccmi.Delivery, nodes),
+			proto:   make([]*sim.Pipe, nodes),
+			ready:   make([]*sim.Counter, nodes),
+			peer:    make([][]*sim.Counter, nodes),
+			stage:   make([][]*sim.Counter, nodes),
+			sends:   make([]data.Buf, m.Cfg.Ranks()),
+		}
+		for n := 0; n < nodes; n++ {
+			st.contrib[n] = make([]*sim.Counter, allreduceColors)
+			for c := range st.contrib[n] {
+				st.contrib[n][c] = m.K.NewCounter(fmt.Sprintf("ar%d.contrib%d.%d", seq, n, c))
+			}
+			st.scratch[n] = data.New(bytes, functional)
+			st.result[n] = data.New(bytes, functional)
+			st.dels[n] = ccmi.NewDelivery(m.K, fmt.Sprintf("ar%d.del%d", seq, n))
+			st.proto[n] = m.K.NewPipe(fmt.Sprintf("ar%d.proto%d", seq, n), rate, 0)
+			st.ready[n] = m.K.NewCounter("ready")
+			st.peer[n] = make([]*sim.Counter, ppn)
+			st.stage[n] = make([]*sim.Counter, ppn)
+			for p := 0; p < ppn; p++ {
+				if p > 0 {
+					st.peer[n][p] = m.K.NewCounter("ardone")
+				}
+				st.stage[n][p] = m.K.NewCounter("arstage")
+			}
+		}
+		return st
+	}
+}
+
+// startAllreduceNetwork launches the network schedule. Exactly one rank
+// (global rank 0, the schedule root's master) starts it.
+func startAllreduceNetwork(r *mpi.Rank, st *allreduceState, bytes int) {
+	m := r.Machine()
+	st.exec = &ccmi.Allreduce{
+		M:           m,
+		Root:        m.Geom.CoordOf(0),
+		Bytes:       bytes,
+		Colors:      geometry.Colors(allreduceColors),
+		Lane0:       6,
+		Contrib:     st.contrib,
+		ContribBufs: st.scratch,
+		ResultBufs:  st.result,
+		Deliveries:  st.dels,
+		ProtoPipes:  st.proto,
+	}
+	st.exec.Run()
+}
+
+// allreduceShaddr is the proposed algorithm (paper §V-C): core 0 runs the
+// network protocol; cores 1..3 each locally reduce one color partition of
+// the four application buffers through process windows, feeding the network
+// pipeline chunk by chunk, and later copy the full result into their own
+// buffers.
+func allreduceShaddr(r *mpi.Rank, send, recv data.Buf) {
+	seq := r.NextSeq()
+	bytes := send.Len()
+	st := getAllreduceState(r, seq, bytes, 1)
+	defer r.ReleaseWorldShared(seq, allreduceKind)
+	m := r.Machine()
+	node := r.NodeID()
+	ppn := r.LocalSize()
+	cached := r.Node().HW.Cached((2*ppn + 2) * bytes)
+
+	st.sends[r.Rank()] = send
+	st.ready[node].Add(1)
+
+	if r.Rank() == 0 {
+		startAllreduceNetwork(r, st, bytes)
+	}
+
+	if ppn == 1 {
+		allreduceSMPRank(r, st, bytes, send, recv)
+		return
+	}
+
+	offs, lens := geometry.SplitAligned(bytes, allreduceColors, data.Float64Len)
+	del := st.dels[node]
+
+	switch lr := r.LocalRank(); lr {
+	case 0:
+		// Protocol core: the ccmi schedule charges its combine work to
+		// st.proto[node]; the rank just owns the result buffer and waits.
+		r.Proc().WaitGE(del.Counter, int64(bytes))
+
+	default:
+		color := lr - 1
+		if color >= allreduceColors {
+			color = allreduceColors - 1 // quad mode has exactly 3 peers
+		}
+		part := lens[color]
+		// Wait for all local ranks to enter (their buffers must be
+		// readable) and map the three peer send buffers.
+		r.Proc().WaitGE(st.ready[node], int64(ppn))
+		for p := 0; p < ppn; p++ {
+			if p != lr {
+				r.CNK().Map(r.Proc(), windowKey(p, st.sends[r.RankOf(node, p)]), bytes)
+			}
+		}
+		// Local reduce of this color's partition, pipelined chunk by
+		// chunk into the network schedule: sum the four application
+		// buffers (three accumulation passes).
+		for _, chunk := range m.Cfg.Params.Chunks(part) {
+			r.Node().HW.Reduce(r.Proc(), (ppn-1)*chunk.Len, cached)
+			foldLocal(st, r, node, offs[color]+chunk.Off, chunk.Len)
+			st.contrib[node][color].Add(int64(chunk.Len))
+		}
+		// Feed any colors without an owning core (fewer peers than
+		// colors cannot happen in quad mode; guard for dual).
+		if lr == ppn-1 {
+			for c := ppn - 1; c < allreduceColors; c++ {
+				for _, chunk := range m.Cfg.Params.Chunks(lens[c]) {
+					r.Node().HW.Reduce(r.Proc(), (ppn-1)*chunk.Len, cached)
+					foldLocal(st, r, node, offs[c]+chunk.Off, chunk.Len)
+					st.contrib[node][c].Add(int64(chunk.Len))
+				}
+			}
+		}
+		// Copy the full reduced result from the master's receive buffer
+		// into this rank's buffer as it arrives.
+		spanIdx := 0
+		for seen := 0; seen < bytes; {
+			r.Proc().WaitGE(del.Counter, int64(seen)+1)
+			r.Node().HW.Poll(r.Proc())
+			for _, span := range del.Drain(&spanIdx) {
+				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+				seen += span.Len
+			}
+		}
+	}
+	installPayload(recv, st.result[node])
+}
+
+// foldLocal installs the functional node-local sum for one byte range of the
+// scratch buffer: scratch[range] = sum over local ranks of send[range].
+func foldLocal(st *allreduceState, r *mpi.Rank, node, off, n int) {
+	scratch := st.scratch[node]
+	if scratch.Len() == 0 || n == 0 || !scratch.IsReal() {
+		return
+	}
+	first := true
+	for p := 0; p < r.LocalSize(); p++ {
+		send := st.sends[r.RankOf(node, p)]
+		if send.Len() == 0 {
+			continue
+		}
+		if first {
+			data.Copy(scratch.Slice(off, n), send.Slice(off, n))
+			first = false
+		} else {
+			data.AddFloats(scratch.Slice(off, n), send.Slice(off, n))
+		}
+	}
+}
+
+// allreduceCurrent is the production algorithm (paper §V-C): the intra-node
+// reduce and broadcast phases move every buffer through the DMA, and the
+// master core performs both the local reduction and the network protocol —
+// the two contention points the shared-address design removes.
+func allreduceCurrent(r *mpi.Rank, send, recv data.Buf) {
+	seq := r.NextSeq()
+	bytes := send.Len()
+	st := getAllreduceState(r, seq, bytes, 2)
+	defer r.ReleaseWorldShared(seq, allreduceKind)
+	m := r.Machine()
+	node := r.NodeID()
+	ppn := r.LocalSize()
+
+	st.sends[r.Rank()] = send
+	st.ready[node].Add(1)
+
+	if r.Rank() == 0 {
+		startAllreduceNetwork(r, st, bytes)
+	}
+
+	if ppn == 1 {
+		allreduceSMPRank(r, st, bytes, send, recv)
+		return
+	}
+
+	offs, lens := geometry.SplitAligned(bytes, allreduceColors, data.Float64Len)
+	del := st.dels[node]
+	chunks := m.Cfg.Params.Chunks(bytes)
+	cached := r.Node().HW.Cached((2*ppn + 2) * bytes)
+
+	// Local reduce: a pipelined chain through the cores. Rank ppn-1's data
+	// is DMA-copied into rank ppn-2's staging, that core adds its own data
+	// and the DMA forwards the partial, until the accumulated partial lands
+	// at the master. Every byte crosses the DMA ppn-1 times — the redundant
+	// copies the paper calls out — and the final accumulation runs on the
+	// master core, which is simultaneously the network protocol core.
+	lr := r.LocalRank()
+	if lr == ppn-1 {
+		// Chain head: ship own chunks to the next core.
+		r.Proc().WaitGE(st.ready[node], int64(ppn))
+		for _, chunk := range chunks {
+			putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
+			cnt := st.stage[node][lr-1]
+			n := int64(chunk.Len)
+			m.K.At(putDone, func() { cnt.Add(n) })
+			r.Proc().SleepUntil(putDone)
+		}
+		r.Proc().WaitGE(st.peer[node][lr], int64(bytes))
+	} else if lr > 0 {
+		// Chain middle: combine the inbound partial with own data and
+		// forward.
+		got := int64(0)
+		for _, chunk := range chunks {
+			got += int64(chunk.Len)
+			r.Proc().WaitGE(st.stage[node][lr], got)
+			r.Node().HW.Reduce(r.Proc(), chunk.Len, cached)
+			putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
+			cnt := st.stage[node][lr-1]
+			n := int64(chunk.Len)
+			m.K.At(putDone, func() { cnt.Add(n) })
+		}
+		r.Proc().WaitGE(st.peer[node][lr], int64(bytes))
+	} else {
+		// Master: final accumulation on the protocol core, then the DMA
+		// distributes arriving results to the peers.
+		got := int64(0)
+		done := 0
+		for _, chunk := range chunks {
+			got += int64(chunk.Len)
+			r.Proc().WaitGE(st.stage[node][0], got)
+			reduceDone := st.proto[node].Reserve(chunk.Len)
+			r.Proc().SleepUntil(reduceDone)
+			foldLocal(st, r, node, chunk.Off, chunk.Len)
+			done += chunk.Len
+			feedContribAbsolute(st, node, done, offs, lens)
+		}
+		spanIdx := 0
+		for seen := 0; seen < bytes; {
+			r.Proc().WaitGE(del.Counter, int64(seen)+1)
+			for _, span := range del.Drain(&spanIdx) {
+				for p := 1; p < ppn; p++ {
+					putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
+					cnt := st.peer[node][p]
+					n := int64(span.Len)
+					m.K.At(putDone, func() { cnt.Add(n) })
+				}
+				seen += span.Len
+			}
+		}
+	}
+	installPayload(recv, st.result[node])
+}
+
+// feedContribAbsolute translates linear local-reduce progress (bytes from
+// offset zero) into the per-color contribution counters.
+func feedContribAbsolute(st *allreduceState, node, done int, offs, lens []int) {
+	for c := 0; c < allreduceColors; c++ {
+		have := done - offs[c]
+		if have < 0 {
+			have = 0
+		}
+		if have > lens[c] {
+			have = lens[c]
+		}
+		if delta := int64(have) - st.contrib[node][c].Value(); delta > 0 {
+			st.contrib[node][c].Add(delta)
+		}
+	}
+}
+
+// allreduceSMPRank is the SMP-mode path shared by both algorithms: one rank
+// per node contributes its buffer directly and waits for the result.
+func allreduceSMPRank(r *mpi.Rank, st *allreduceState, bytes int, send, recv data.Buf) {
+	node := r.NodeID()
+	_, lens := geometry.SplitAligned(bytes, allreduceColors, data.Float64Len)
+	// The node contribution is the send buffer itself; install it and
+	// declare every color ready.
+	if st.scratch[node].IsReal() && send.IsReal() && st.scratch[node].Len() == send.Len() {
+		data.Copy(st.scratch[node], send)
+	}
+	for c := 0; c < allreduceColors; c++ {
+		st.contrib[node][c].Add(int64(lens[c]))
+	}
+	r.Proc().WaitGE(st.dels[node].Counter, int64(bytes))
+	installPayload(recv, st.result[node])
+}

@@ -1,0 +1,261 @@
+package coll
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/ccmi"
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// torusBcastState is the job-wide shared state of one torus broadcast: the
+// per-node network delivery logs plus the intra-node coordination counters
+// each algorithm variant needs.
+type torusBcastState struct {
+	src  data.Buf
+	dels []*ccmi.Delivery
+
+	sw   []*sim.Counter   // per node: master-published software message counter
+	done []*sim.Counter   // per node: peers finished copying out
+	peer [][]*sim.Counter // per node, per local peer: bytes landed for that peer
+	enq  []*sim.Counter   // per node: Bcast-FIFO bytes enqueued by the master
+
+	masterBuf []data.Buf // per node: the master's receive buffer (window keys)
+}
+
+const torusBcastKind = "bcast.torus"
+
+func getTorusBcastState(r *mpi.Rank, seq int64) *torusBcastState {
+	return r.WorldShared(seq, torusBcastKind, func() any {
+		m := r.Machine()
+		nodes := m.Geom.Nodes()
+		ppn := r.LocalSize()
+		st := &torusBcastState{
+			dels: make([]*ccmi.Delivery, nodes),
+			sw:   make([]*sim.Counter, nodes),
+			done: make([]*sim.Counter, nodes),
+			peer: make([][]*sim.Counter, nodes),
+			enq:  make([]*sim.Counter, nodes),
+		}
+		for n := 0; n < nodes; n++ {
+			st.dels[n] = ccmi.NewDelivery(m.K, fmt.Sprintf("bcast%d.node%d", seq, n))
+			st.sw[n] = m.K.NewCounter("sw")
+			st.done[n] = m.K.NewCounter("done")
+			st.enq[n] = m.K.NewCounter("enq")
+			st.peer[n] = make([]*sim.Counter, ppn)
+			for p := 1; p < ppn; p++ {
+				st.peer[n][p] = m.K.NewCounter("peer")
+			}
+		}
+		st.masterBuf = make([]data.Buf, nodes)
+		return st
+	}).(*torusBcastState)
+}
+
+// startTorusNetwork launches the multi-color rectangle broadcast from the
+// root rank's node. Called by the root rank only.
+func startTorusNetwork(r *mpi.Rank, st *torusBcastState, buf data.Buf, hook func(node int, span hw.Span, t sim.Time)) {
+	m := r.Machine()
+	st.src = buf
+	colors := m.Colors()
+	if n := r.World().Tunables.TorusColors; n > 0 && n <= len(colors) {
+		colors = colors[:n]
+	}
+	b := &ccmi.Bcast{
+		M:          m,
+		Root:       r.Coord(),
+		Src:        buf,
+		Bufs:       make([]data.Buf, m.Geom.Nodes()),
+		Deliveries: st.dels,
+		Colors:     colors,
+		Lane0:      0,
+		Hook:       hook,
+	}
+	b.Run()
+}
+
+// waitNodeDelivery blocks until this rank's node has received the full
+// message over the network.
+func waitNodeDelivery(r *mpi.Rank, st *torusBcastState, total int) {
+	r.Proc().WaitGE(st.dels[r.NodeID()].Counter, int64(total))
+}
+
+// bcastTorusDirectPut is the current production algorithm (paper §V-A): the
+// DMA performs the network transfer, and in quad mode also the fourth,
+// intra-node dimension of the spanning tree — three additional local direct
+// puts per delivered chunk, all contending on the same engine.
+func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int) {
+	seq := r.NextSeq()
+	st := getTorusBcastState(r, seq)
+	defer r.ReleaseWorldShared(seq, torusBcastKind)
+	total := buf.Len()
+	m := r.Machine()
+	ppn := r.LocalSize()
+
+	if r.Rank() == root {
+		hook := func(node int, span hw.Span, t sim.Time) {
+			for p := 1; p < ppn; p++ {
+				p := p
+				putDone := m.Node(node).DMA.LocalCopy(t, span.Len)
+				cnt := st.peer[node][p]
+				m.K.At(putDone, func() { cnt.Add(int64(span.Len)) })
+			}
+		}
+		startTorusNetwork(r, st, buf, hook)
+	}
+
+	if r.IsNodeMaster() {
+		waitNodeDelivery(r, st, total)
+	} else {
+		r.Proc().WaitGE(st.peer[r.NodeID()][r.LocalRank()], int64(total))
+	}
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}
+
+// bcastTorusShaddr is the proposed shared-address algorithm (paper §V-A):
+// the network direct-puts into the master's application buffer; the master
+// mirrors the DMA byte counters into a software message counter; peers copy
+// newly arrived ranges directly out of the master's buffer through process
+// windows; an atomic completion counter returns the buffer to the master.
+func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int) {
+	seq := r.NextSeq()
+	st := getTorusBcastState(r, seq)
+	defer r.ReleaseWorldShared(seq, torusBcastKind)
+	total := buf.Len()
+	node := r.NodeID()
+
+	if r.Rank() == root {
+		startTorusNetwork(r, st, buf, nil)
+	}
+
+	switch {
+	case r.IsNodeMaster():
+		st.masterBuf[node] = buf
+		del := st.dels[node]
+		sw := st.sw[node]
+		spanIdx := 0
+		for got := 0; got < total; {
+			r.Proc().WaitGE(del.Counter, int64(got)+1)
+			batch := sumSpanLens(del.Drain(&spanIdx))
+			got += batch
+			// Mirror the hardware counter into the shared software
+			// counter the peers poll.
+			r.Node().HW.Poll(r.Proc())
+			sw.Add(int64(batch))
+		}
+		// The master may reuse its buffer once every peer has copied out.
+		r.Proc().WaitGE(st.done[node], int64(r.LocalSize()-1))
+
+	default:
+		sw := st.sw[node]
+		del := st.dels[node]
+		if r.Rank() == root {
+			// A non-master root already holds the data; it only signals.
+			st.done[node].Add(1)
+			break
+		}
+		// The first published range also tells us the master has arrived
+		// and its buffer is registered; map it once.
+		r.Proc().WaitGE(sw, 1)
+		r.CNK().Map(r.Proc(), windowKey(0, st.masterBuf[node]), total)
+		cached := quadBcastFootprint(r, total)
+		spanIdx := 0
+		for seen := 0; seen < total; {
+			r.Proc().WaitGE(sw, int64(seen)+1)
+			r.Node().HW.Poll(r.Proc())
+			avail := int(sw.Value())
+			for spanIdx < len(del.Spans) && seen < avail {
+				span := del.Spans[spanIdx]
+				spanIdx++
+				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+				seen += span.Len
+			}
+		}
+		st.done[node].Add(1)
+	}
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}
+
+// bcastTorusFIFO is the shared-memory Bcast-FIFO algorithm (paper §V-A): the
+// master packetizes chunks received in its application buffer into the
+// concurrent broadcast FIFO (data plus connection-id metadata per slot); the
+// three peers dequeue every slot. FIFO capacity provides back-pressure.
+func bcastTorusFIFO(r *mpi.Rank, buf data.Buf, root int) {
+	seq := r.NextSeq()
+	st := getTorusBcastState(r, seq)
+	defer r.ReleaseWorldShared(seq, torusBcastKind)
+	total := buf.Len()
+	node := r.NodeID()
+	params := r.Machine().Cfg.Params
+	slot := params.FIFOSlotBytes
+	capacity := slot * params.FIFOSlots
+	// Staging through the FIFO doubles the traffic over every byte, so the
+	// effective working set is twice the shared-address scheme's; large
+	// messages fall out of the cache earlier.
+	cached := r.Node().HW.Cached(2 * r.LocalSize() * total)
+
+	if r.Rank() == root {
+		startTorusNetwork(r, st, buf, nil)
+	}
+
+	switch {
+	case r.IsNodeMaster():
+		del := st.dels[node]
+		enq := st.enq[node]
+		enqueued := 0
+		for enqueued < total {
+			r.Proc().WaitGE(del.Counter, int64(enqueued)+1)
+			avail := int(del.Counter.Value())
+			for enqueued < avail {
+				piece := slot
+				if avail-enqueued < piece {
+					piece = avail - enqueued
+				}
+				// Space check: every peer must have drained far enough
+				// that a slot is free (myslot - head < fifoSize).
+				if thr := int64(enqueued + piece - capacity); thr > 0 {
+					for p := 1; p < r.LocalSize(); p++ {
+						r.Proc().WaitGE(st.peer[node][p], thr)
+					}
+				}
+				// Copy data and metadata into the reserved slot.
+				r.Node().HW.Copy(r.Proc(), piece, cached)
+				enq.Add(int64(piece))
+				enqueued += piece
+			}
+		}
+		r.Proc().WaitGE(st.done[node], int64(r.LocalSize()-1))
+
+	default:
+		enq := st.enq[node]
+		consumed := st.peer[node][r.LocalRank()]
+		isRoot := r.Rank() == root
+		for seen := 0; seen < total; {
+			r.Proc().WaitGE(enq, int64(seen)+1)
+			avail := int(enq.Value())
+			for seen < avail {
+				piece := slot
+				if avail-seen < piece {
+					piece = avail - seen
+				}
+				if !isRoot {
+					r.Node().HW.Poll(r.Proc())
+					r.Node().HW.Copy(r.Proc(), piece, cached)
+				}
+				// The last arriving reader's decrement frees the slot.
+				consumed.Add(int64(piece))
+				seen += piece
+			}
+		}
+		st.done[node].Add(1)
+	}
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}

@@ -1,0 +1,355 @@
+package coll
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+	"bgpcoll/internal/tree"
+)
+
+// injectWindow bounds how many chunks an injecting core may run ahead of
+// delivery, modeling the collective network's limited buffering.
+const injectWindow = 4
+
+// treeBcastState is the job-wide shared state of one collective-network
+// broadcast: the per-chunk combine operations plus intra-node counters.
+type treeBcastState struct {
+	src   data.Buf
+	spans []hw.Span
+	ops   []*tree.Op
+
+	sw    []*sim.Counter // per node: bytes received by the reception core
+	done  []*sim.Counter // per node: peers finished
+	fill  []*sim.Counter // per node: bytes copied into the injector's buffer
+	peer  [][]*sim.Counter
+	rxBuf []data.Buf // per node: reception rank's buffer (window keys)
+	r0Buf []data.Buf // per node: injector rank's buffer (window keys)
+}
+
+const treeBcastKind = "bcast.tree"
+
+func getTreeBcastState(r *mpi.Rank, seq int64, total int) *treeBcastState {
+	return r.WorldShared(seq, treeBcastKind, func() any {
+		m := r.Machine()
+		nodes := m.Geom.Nodes()
+		ppn := r.LocalSize()
+		spans := m.Cfg.Params.Chunks(total)
+		st := &treeBcastState{
+			spans: spans,
+			ops:   make([]*tree.Op, len(spans)),
+			sw:    make([]*sim.Counter, nodes),
+			done:  make([]*sim.Counter, nodes),
+			fill:  make([]*sim.Counter, nodes),
+			peer:  make([][]*sim.Counter, nodes),
+			rxBuf: make([]data.Buf, nodes),
+			r0Buf: make([]data.Buf, nodes),
+		}
+		for i, s := range spans {
+			st.ops[i] = m.Tree.NewOp(s.Len)
+		}
+		for n := 0; n < nodes; n++ {
+			st.sw[n] = m.K.NewCounter(fmt.Sprintf("treebc%d.sw%d", seq, n))
+			st.done[n] = m.K.NewCounter("done")
+			st.fill[n] = m.K.NewCounter("fill")
+			st.peer[n] = make([]*sim.Counter, ppn)
+			for p := 1; p < ppn; p++ {
+				st.peer[n][p] = m.K.NewCounter("peer")
+			}
+		}
+		return st
+	}).(*treeBcastState)
+}
+
+// injectAll drives one node's injection side: the root's injector feeds the
+// payload, every other node's injector feeds zeros into the global OR
+// (paper §V-B). Injection is windowed against delivery to model the
+// network's finite buffering.
+func injectAll(r *mpi.Rank, st *treeBcastState) {
+	net := r.Machine().Tree
+	for i, span := range st.spans {
+		if i >= injectWindow {
+			r.Proc().Wait(st.ops[i-injectWindow].Delivered())
+		}
+		r.Proc().Sleep(net.TouchTime(span.Len))
+		st.ops[i].Inject()
+	}
+}
+
+// receiveAll drives one node's reception side, paying the core packet-touch
+// cost per chunk and publishing progress to the node's software counter.
+func receiveAll(r *mpi.Rank, st *treeBcastState) {
+	net := r.Machine().Tree
+	sw := st.sw[r.NodeID()]
+	for i, span := range st.spans {
+		r.Proc().Wait(st.ops[i].Delivered())
+		r.Proc().Sleep(net.TouchTime(span.Len))
+		sw.Add(int64(span.Len))
+	}
+}
+
+// masterPump drives both sides of the collective network on a single core,
+// the way the production quad-mode algorithms do: the core alternates
+// between injecting the next chunk and draining any chunks the network has
+// delivered (paying a packet-touch each way), so chunk latency overlaps but
+// the core's throughput halves — the imbalance the shared-address core
+// specialization removes. onRecv runs after each chunk's reception cost.
+func masterPump(r *mpi.Rank, st *treeBcastState, onRecv func(i int, span hw.Span)) {
+	net := r.Machine().Tree
+	recvIdx := 0
+	recvOne := func() {
+		span := st.spans[recvIdx]
+		r.Proc().Sleep(net.TouchTime(span.Len))
+		onRecv(recvIdx, span)
+		recvIdx++
+	}
+	drain := func() {
+		for recvIdx < len(st.spans) && st.ops[recvIdx].Delivered().Fired() {
+			recvOne()
+		}
+	}
+	for i, span := range st.spans {
+		// Injection back-pressure: the network buffers only a few chunks.
+		for i-recvIdx >= injectWindow {
+			r.Proc().Wait(st.ops[recvIdx].Delivered())
+			recvOne()
+		}
+		r.Proc().Sleep(net.TouchTime(span.Len)) // inject (data or zeros)
+		st.ops[i].Inject()
+		drain()
+	}
+	for recvIdx < len(st.spans) {
+		r.Proc().Wait(st.ops[recvIdx].Delivered())
+		recvOne()
+	}
+}
+
+// bcastTreeSMP is the current SMP-mode algorithm (paper §V-B): the main
+// thread injects while a helper communication thread receives, together
+// saturating the collective network.
+func bcastTreeSMP(r *mpi.Rank, buf data.Buf, root int) {
+	seq := r.NextSeq()
+	st := getTreeBcastState(r, seq, buf.Len())
+	defer r.ReleaseWorldShared(seq, treeBcastKind)
+	if r.Rank() == root {
+		st.src = buf
+	}
+	k := r.Machine().K
+	helperDone := k.NewEvent(fmt.Sprintf("treebc%d.helper%d", seq, r.Rank()))
+	rr := r
+	k.Spawn(fmt.Sprintf("rank%d.comm", r.Rank()), func(p *sim.Proc) {
+		net := rr.Machine().Tree
+		for i, span := range st.spans {
+			p.Wait(st.ops[i].Delivered())
+			p.Sleep(net.TouchTime(span.Len))
+		}
+		helperDone.Fire()
+	})
+	injectAll(r, st)
+	r.Proc().Wait(helperDone)
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}
+
+// bcastTreeShmem is the quad-mode latency algorithm (paper §V-B): the master
+// core injects and receives into a shared-memory segment, serialized on one
+// core; peers copy the data out of the segment.
+func bcastTreeShmem(r *mpi.Rank, buf data.Buf, root int) {
+	seq := r.NextSeq()
+	st := getTreeBcastState(r, seq, buf.Len())
+	defer r.ReleaseWorldShared(seq, treeBcastKind)
+	if r.Rank() == root {
+		st.src = buf
+	}
+
+	node := r.NodeID()
+	cached := quadBcastFootprint(r, buf.Len())
+
+	if r.IsNodeMaster() {
+		sw := st.sw[node]
+		masterPump(r, st, func(i int, span hw.Span) {
+			sw.Add(int64(span.Len))
+			if r.Rank() != root {
+				// The master's own buffer needs the data too: a third
+				// byte-touch on the same core.
+				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+			}
+		})
+	} else {
+		treePeerCopy(r, st, root, cached)
+	}
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}
+
+// treePeerCopy is the peer-side copy loop shared by the shmem and shaddr
+// algorithms: wait on the node's software counter and copy arrived chunks.
+func treePeerCopy(r *mpi.Rank, st *treeBcastState, root int, cached bool) {
+	sw := st.sw[r.NodeID()]
+	isRoot := r.Rank() == root
+	got := int64(0)
+	for i, span := range st.spans {
+		got += int64(span.Len)
+		r.Proc().WaitGE(sw, got)
+		if isRoot {
+			continue
+		}
+		r.Node().HW.Poll(r.Proc())
+		r.Node().HW.Copy(r.Proc(), span.Len, cached)
+		_ = i
+	}
+	st.done[r.NodeID()].Add(1)
+}
+
+// bcastTreeDMAFIFO is the current quad-mode algorithm: the master core
+// injects and receives; the DMA then moves the data to the peers' memory
+// FIFOs, from which each peer's core copies into its application buffer.
+func bcastTreeDMAFIFO(r *mpi.Rank, buf data.Buf, root int) {
+	treeDMACommon(r, buf, root, true)
+}
+
+// bcastTreeDMADirect is the current quad-mode variant where the DMA
+// direct-puts into the peers' application buffers, skipping the FIFO copy.
+func bcastTreeDMADirect(r *mpi.Rank, buf data.Buf, root int) {
+	treeDMACommon(r, buf, root, false)
+}
+
+func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool) {
+	seq := r.NextSeq()
+	st := getTreeBcastState(r, seq, buf.Len())
+	defer r.ReleaseWorldShared(seq, treeBcastKind)
+	if r.Rank() == root {
+		st.src = buf
+	}
+	m := r.Machine()
+
+	node := r.NodeID()
+	ppn := r.LocalSize()
+	cached := quadBcastFootprint(r, buf.Len())
+
+	if r.IsNodeMaster() {
+		masterPump(r, st, func(i int, span hw.Span) {
+			for p := 1; p < ppn; p++ {
+				putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
+				cnt := st.peer[node][p]
+				n := int64(span.Len)
+				m.K.At(putDone, func() { cnt.Add(n) })
+			}
+		})
+	} else {
+		cnt := st.peer[node][r.LocalRank()]
+		isRoot := r.Rank() == root
+		got := int64(0)
+		for _, span := range st.spans {
+			got += int64(span.Len)
+			r.Proc().WaitGE(cnt, got)
+			if fifo && !isRoot {
+				// Memory-FIFO reception needs a core copy into the
+				// application buffer.
+				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+			}
+		}
+	}
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}
+
+// bcastTreeShaddr is the proposed quad-mode algorithm (paper §V-B, Fig. 4):
+// core specialization over shared address space. Local rank 0 injects
+// (payload at the root, zeros elsewhere), local rank 1 receives directly
+// into its application buffer and publishes a software counter, ranks 2 and
+// 3 copy through process windows, and rank 2 additionally fills rank 0's
+// buffer — the injector has no cycles to copy, and memory bandwidth is at
+// least twice the collective network's.
+func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int) {
+	seq := r.NextSeq()
+	st := getTreeBcastState(r, seq, buf.Len())
+	defer r.ReleaseWorldShared(seq, treeBcastKind)
+	if r.Rank() == root {
+		st.src = buf
+	}
+	node := r.NodeID()
+	total := buf.Len()
+	cached := quadBcastFootprint(r, total)
+	rootRank := r.World().Rank(root)
+	rootOnNode := rootRank.NodeID() == node
+
+	switch r.LocalRank() {
+	case 0: // injection process
+		st.r0Buf[node] = buf
+		if rootOnNode && root != r.Rank() {
+			// Inject the payload out of the root rank's buffer through a
+			// process window.
+			r.CNK().Map(r.Proc(), windowKey(rootRank.LocalRank(), st.src), total)
+		}
+		injectAll(r, st)
+		if r.Rank() != root {
+			// Wait for rank 2 to fill this buffer.
+			r.Proc().WaitGE(st.fill[node], int64(total))
+		}
+
+	case 1: // reception process: directly into its application buffer
+		st.rxBuf[node] = buf
+		if r.LocalSize() == 2 {
+			// Dual mode has no dedicated copy processes: the reception
+			// process also fills the injector's buffer.
+			fillInjector := r.RankOf(node, 0) != root
+			if fillInjector {
+				r.CNK().Map(r.Proc(), windowKey(0, st.r0Buf[node]), total)
+			}
+			net := r.Machine().Tree
+			sw := st.sw[node]
+			for i, span := range st.spans {
+				r.Proc().Wait(st.ops[i].Delivered())
+				r.Proc().Sleep(net.TouchTime(span.Len))
+				sw.Add(int64(span.Len))
+				if fillInjector {
+					r.Node().HW.Copy(r.Proc(), span.Len, cached)
+					st.fill[node].Add(int64(span.Len))
+				}
+			}
+			break
+		}
+		receiveAll(r, st)
+
+	case 2: // copy process, also responsible for the injector's buffer
+		sw := st.sw[node]
+		r.Proc().WaitGE(sw, 1)
+		r.CNK().Map(r.Proc(), windowKey(1, st.rxBuf[node]), total)
+		fillInjector := r.RankOf(node, 0) != root
+		if fillInjector {
+			r.CNK().Map(r.Proc(), windowKey(0, st.r0Buf[node]), total)
+		}
+		isRoot := r.Rank() == root
+		got := int64(0)
+		for _, span := range st.spans {
+			got += int64(span.Len)
+			r.Proc().WaitGE(sw, got)
+			r.Node().HW.Poll(r.Proc())
+			if !isRoot {
+				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+			}
+			if fillInjector {
+				// The extra copy into rank 0's buffer; memory bandwidth
+				// exceeds the tree's, so this does not throttle the flow.
+				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+				st.fill[node].Add(int64(span.Len))
+			}
+		}
+		st.done[node].Add(1)
+
+	case 3: // copy process
+		sw := st.sw[node]
+		r.Proc().WaitGE(sw, 1)
+		r.CNK().Map(r.Proc(), windowKey(1, st.rxBuf[node]), total)
+		treePeerCopy(r, st, root, cached)
+	}
+	if r.Rank() != root {
+		installPayload(buf, st.src)
+	}
+}

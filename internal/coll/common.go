@@ -1,0 +1,57 @@
+package coll
+
+import (
+	"bgpcoll/internal/cnk"
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+)
+
+// Register installs every algorithm in the mpi registries. The facade calls
+// it once at startup.
+func Register() {
+	mpi.RegisterBcast(mpi.BcastTorusDirectPut, bcastTorusDirectPut)
+	mpi.RegisterBcast(mpi.BcastTorusShaddr, bcastTorusShaddr)
+	mpi.RegisterBcast(mpi.BcastTorusFIFO, bcastTorusFIFO)
+	mpi.RegisterBcast(mpi.BcastTreeSMP, bcastTreeSMP)
+	mpi.RegisterBcast(mpi.BcastTreeShmem, bcastTreeShmem)
+	mpi.RegisterBcast(mpi.BcastTreeDMAFIFO, bcastTreeDMAFIFO)
+	mpi.RegisterBcast(mpi.BcastTreeDMADirect, bcastTreeDMADirect)
+	mpi.RegisterBcast(mpi.BcastTreeShaddr, bcastTreeShaddr)
+	mpi.RegisterAllreduce(mpi.AllreduceTorusCurrent, allreduceCurrent)
+	mpi.RegisterAllreduce(mpi.AllreduceTorusNew, allreduceShaddr)
+	mpi.RegisterGather(mpi.GatherTorus, gatherTorus)
+	mpi.RegisterAllgather(mpi.AllgatherTorus, allgatherTorus)
+	mpi.RegisterAllgather(mpi.AllgatherRing, allgatherRing)
+	mpi.RegisterReduce(mpi.ReduceTorus, reduceTorus)
+	mpi.RegisterScatter(mpi.ScatterTorus, scatterTorus)
+	mpi.RegisterAlltoall(mpi.AlltoallTorus, alltoallTorus)
+}
+
+// windowKey builds the CNK buffer key for mapping a peer's buffer.
+func windowKey(peerLRank int, buf data.Buf) cnk.BufferKey {
+	return cnk.BufferKey{OwnerLocalRank: peerLRank, Tag: buf.ID()}
+}
+
+// quadBcastFootprint is the node cache working set of a quad-mode broadcast:
+// all four ranks' message buffers.
+func quadBcastFootprint(r *mpi.Rank, n int) bool {
+	return r.Node().HW.Cached(r.LocalSize() * n)
+}
+
+// installPayload copies the authoritative broadcast payload into a rank's
+// buffer at completion (functional bookkeeping; see the package comment).
+func installPayload(dst, src data.Buf) {
+	if dst.Len() == src.Len() && dst.Len() > 0 {
+		data.Copy(dst, src)
+	}
+}
+
+// sumSpanLens totals a span list's bytes.
+func sumSpanLens(spans []hw.Span) int {
+	n := 0
+	for _, s := range spans {
+		n += s.Len
+	}
+	return n
+}

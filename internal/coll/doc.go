@@ -1,0 +1,49 @@
+// Package coll implements every collective algorithm the paper describes —
+// the current production algorithms and the proposed shared-memory,
+// shared-address, and core-specialization designs — on top of the ccmi
+// schedules and the mpi runtime.
+//
+// Broadcast over the collective (tree) network (§V-B):
+//
+//	tree.smp        SMP mode: main thread injects, helper thread receives.
+//	tree.shmem      quad: one master core injects and receives into a shared
+//	                segment; peers copy out. Latency-optimized.
+//	tree.dmafifo    quad: master core injects/receives; the DMA moves data to
+//	                per-core memory FIFOs; peers copy FIFO -> buffer.
+//	tree.dmadirect  quad: as dmafifo but the DMA direct-puts into the peers'
+//	                application buffers.
+//	tree.shaddr     quad: core specialization — local rank 0 injects, rank 1
+//	                receives into its application buffer, ranks 2 and 3 copy
+//	                through process windows, rank 2 additionally fills rank
+//	                0's buffer (the injector has no cycles to copy).
+//
+// Broadcast over the torus (§V-A):
+//
+//	torus.directput  the DMA moves data over the network and, in quad mode,
+//	                 as the spanning tree's intra-node fourth dimension.
+//	torus.fifo       quad: the master enqueues received chunks into the
+//	                 concurrent Bcast FIFO; peers dequeue.
+//	torus.shaddr     quad: the master receives into its application buffer
+//	                 and mirrors the DMA byte counters into software message
+//	                 counters; peers copy arrived ranges directly.
+//
+// Allreduce over the torus (§V-C):
+//
+//	allreduce.current  local reduce and local broadcast move every buffer
+//	                   through the DMA, and the master core performs both
+//	                   the local reduction and the network protocol.
+//	allreduce.shaddr   core specialization: cores 1-3 locally reduce and
+//	                   later copy out one color partition each through
+//	                   process windows; core 0 runs only the network
+//	                   protocol.
+//
+// Gather and Allgather over the torus implement the paper's future-work
+// extension using the same point-to-point substrate.
+//
+// Functional correctness is handled uniformly: timing-relevant copies are
+// charged where the paper's design performs them, while each rank installs
+// the actual payload bytes from the authoritative source buffer when its
+// participation completes (equivalent content, zero additional virtual
+// time). The ccmi tests verify span-exact data plumbing at the network
+// layer.
+package coll

@@ -1,0 +1,266 @@
+package coll
+
+import (
+	"testing"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+)
+
+func TestReduceCorrect(t *testing.T) {
+	for _, root := range []int{0, 5, 31} {
+		cfg := testConfig(2, 2, 2, hw.Quad)
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const doubles = 1024
+		size := cfg.Ranks()
+		if _, err := w.Run(func(r *mpi.Rank) {
+			send := r.NewBuf(doubles * data.Float64Len)
+			vals := make([]float64, doubles)
+			for i := range vals {
+				vals[i] = float64(r.Rank() + 1)
+			}
+			send.PutFloats(vals)
+			var recv data.Buf
+			if r.Rank() == root {
+				recv = r.NewBuf(doubles * data.Float64Len)
+			}
+			r.ReduceSum(send, recv, root)
+			if r.Rank() == root {
+				want := float64(size*(size+1)) / 2
+				for i, v := range recv.Floats() {
+					if v != want {
+						t.Errorf("root %d elem %d = %v, want %v", root, i, v, want)
+						break
+					}
+				}
+			}
+		}); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestReduceSMP(t *testing.T) {
+	cfg := testConfig(2, 2, 1, hw.SMP)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const doubles = 512
+	if _, err := w.Run(func(r *mpi.Rank) {
+		send := r.NewBuf(doubles * data.Float64Len)
+		vals := make([]float64, doubles)
+		for i := range vals {
+			vals[i] = 2
+		}
+		send.PutFloats(vals)
+		recv := r.NewBuf(doubles * data.Float64Len)
+		r.ReduceSum(send, recv, 0)
+		if r.Rank() == 0 {
+			if got := recv.Floats()[0]; got != float64(2*r.Size()) {
+				t.Errorf("sum = %v, want %d", got, 2*r.Size())
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceCheaperThanAllreduce(t *testing.T) {
+	// Reduce skips the broadcast-down phase, so it must be faster.
+	cfg := testConfig(4, 4, 2, hw.Quad)
+	cfg.Functional = false
+	const doubles = 64 << 10
+	measure := func(op func(r *mpi.Rank, send, recv data.Buf)) int64 {
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := w.Run(func(r *mpi.Rank) {
+			send := r.NewBuf(doubles * data.Float64Len)
+			recv := r.NewBuf(doubles * data.Float64Len)
+			op(r, send, recv)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(el)
+	}
+	allreduce := measure(func(r *mpi.Rank, send, recv data.Buf) { r.AllreduceSum(send, recv) })
+	reduce := measure(func(r *mpi.Rank, send, recv data.Buf) { r.ReduceSum(send, recv, 0) })
+	if reduce >= allreduce {
+		t.Fatalf("reduce %d not faster than allreduce %d", reduce, allreduce)
+	}
+}
+
+func TestScatterCorrect(t *testing.T) {
+	cfg := testConfig(2, 2, 1, hw.Quad)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 2048
+	root := 7
+	if _, err := w.Run(func(r *mpi.Rank) {
+		var send data.Buf
+		if r.Rank() == root {
+			send = r.NewBuf(block * r.Size())
+			for i := 0; i < r.Size(); i++ {
+				send.Slice(i*block, block).Fill(uint64(i) + 100)
+			}
+		}
+		recv := r.NewBuf(block)
+		r.Scatter(send, recv, root)
+		want := data.New(block, true)
+		want.Fill(uint64(r.Rank()) + 100)
+		if !data.Equal(recv, want) {
+			t.Errorf("rank %d got wrong scatter block", r.Rank())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallCorrect(t *testing.T) {
+	cfg := testConfig(2, 2, 1, hw.Quad)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 1024
+	if _, err := w.Run(func(r *mpi.Rank) {
+		size := r.Size()
+		send := r.NewBuf(block * size)
+		for j := 0; j < size; j++ {
+			// Block for rank j is tagged with (me, j).
+			send.Slice(j*block, block).Fill(uint64(r.Rank()*1000 + j))
+		}
+		recv := r.NewBuf(block * size)
+		r.Alltoall(send, recv)
+		for i := 0; i < size; i++ {
+			want := data.New(block, true)
+			want.Fill(uint64(i*1000 + r.Rank()))
+			if !data.Equal(recv.Slice(i*block, block), want) {
+				t.Errorf("rank %d block from %d corrupted", r.Rank(), i)
+				break
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallLargeBlocksRendezvous(t *testing.T) {
+	cfg := testConfig(2, 1, 1, hw.Quad)
+	cfg.Functional = false
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 64 << 10 // above eager limit
+	if _, err := w.Run(func(r *mpi.Rank) {
+		send := r.NewBuf(block * r.Size())
+		recv := r.NewBuf(block * r.Size())
+		r.Alltoall(send, recv)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualModeCollectives(t *testing.T) {
+	cfg := testConfig(2, 2, 1, hw.Dual)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ranks() != 8 {
+		t.Fatalf("dual ranks = %d", cfg.Ranks())
+	}
+	const msg = 32 << 10
+	if _, err := w.Run(func(r *mpi.Rank) {
+		buf := r.NewBuf(msg)
+		if r.Rank() == 0 {
+			buf.Fill(5)
+		}
+		r.Bcast(buf, 0)
+		want := data.New(msg, true)
+		want.Fill(5)
+		if !data.Equal(buf, want) {
+			t.Errorf("dual bcast rank %d corrupted", r.Rank())
+		}
+		// Allreduce in dual mode.
+		send := r.NewBuf(256 * data.Float64Len)
+		recv := r.NewBuf(256 * data.Float64Len)
+		vals := make([]float64, 256)
+		for i := range vals {
+			vals[i] = 1
+		}
+		send.PutFloats(vals)
+		r.AllreduceSum(send, recv)
+		if got := recv.Floats()[0]; got != float64(r.Size()) {
+			t.Errorf("dual allreduce = %v, want %d", got, r.Size())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherRingCorrect(t *testing.T) {
+	cfg := testConfig(2, 2, 1, hw.Quad)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tunables.Allgather = mpi.AllgatherRing
+	const block = 512
+	if _, err := w.Run(func(r *mpi.Rank) {
+		send := r.NewBuf(block)
+		send.Fill(uint64(r.Rank()) + 7)
+		recv := r.NewBuf(block * r.Size())
+		r.Allgather(send, recv)
+		for src := 0; src < r.Size(); src++ {
+			want := data.New(block, true)
+			want.Fill(uint64(src) + 7)
+			if !data.Equal(recv.Slice(src*block, block), want) {
+				t.Errorf("rank %d: ring allgather block %d corrupted", r.Rank(), src)
+				break
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherComposedBeatsRingAtScale(t *testing.T) {
+	// With many ranks and substantial blocks, the composed gather+bcast
+	// exploits the optimized six-color broadcast for the volume-dominant
+	// phase; the ring pays P-1 serialized rendezvous steps.
+	cfg := testConfig(4, 4, 2, hw.Quad) // 128 ranks
+	cfg.Functional = false
+	const block = 64 << 10
+	measure := func(algo string) int64 {
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Tunables.Allgather = algo
+		el, err := w.Run(func(r *mpi.Rank) {
+			send := r.NewBuf(block)
+			recv := r.NewBuf(block * r.Size())
+			r.Allgather(send, recv)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		return int64(el)
+	}
+	ring := measure(mpi.AllgatherRing)
+	composed := measure(mpi.AllgatherTorus)
+	if composed >= ring {
+		t.Fatalf("composed allgather %d not faster than ring %d at 128 ranks", composed, ring)
+	}
+}

@@ -1,0 +1,82 @@
+package coll
+
+import (
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/mpi"
+)
+
+// gatherTag is the reserved point-to-point tag space for gather traffic.
+const gatherTag = 1 << 20
+
+// allgatherRingTagBase reserves tag space for the ring allgather.
+const allgatherRingTagBase = 4 << 20
+
+// gatherTorus implements MPI_Gather over the torus point-to-point substrate
+// (the paper's future-work extension): every rank sends its block to the
+// root, which assembles them in rank order. Small blocks travel eagerly,
+// large blocks via rendezvous direct put.
+func gatherTorus(r *mpi.Rank, send, recv data.Buf, root int) {
+	seq := r.NextSeq()
+	block := send.Len()
+	if r.Rank() != root {
+		r.Send(root, send, gatherTag+int(seq%gatherTag))
+		return
+	}
+	if recv.Len() != block*r.Size() {
+		panic("coll: gather receive buffer must hold Size() blocks")
+	}
+	// Post every receive up front so the transfers overlap; the torus and
+	// the root's DMA arbitrate the fan-in.
+	reqs := make([]*mpi.Request, 0, r.Size()-1)
+	for src := 0; src < r.Size(); src++ {
+		dst := recv.Slice(src*block, block)
+		if src == root {
+			// The root's own block: a local copy.
+			r.Node().HW.Copy(r.Proc(), block, r.Node().HW.Cached(2*block))
+			data.Copy(dst, send)
+			continue
+		}
+		reqs = append(reqs, r.Irecv(src, dst, gatherTag+int(seq%gatherTag)))
+	}
+	r.WaitAll(reqs...)
+}
+
+// allgatherTorus implements MPI_Allgather as a gather to rank 0 followed by
+// the optimized broadcast of the assembled buffer — reusing the paper's
+// shared-address machinery for the volume-dominant phase.
+func allgatherTorus(r *mpi.Rank, send, recv data.Buf) {
+	if recv.Len() != send.Len()*r.Size() {
+		panic("coll: allgather receive buffer must hold Size() blocks")
+	}
+	r.Gather(send, recv, 0)
+	r.Bcast(recv, 0)
+}
+
+// allgatherRing implements MPI_Allgather with the classic ring algorithm:
+// in step s every rank passes along the block it obtained s steps ago. P-1
+// steps of one block each; bandwidth-optimal on a ring but without the
+// torus broadcast's six-way parallelism, so the composed gather+bcast
+// (allgather.torus) wins for large aggregate sizes.
+func allgatherRing(r *mpi.Rank, send, recv data.Buf) {
+	seq := r.NextSeq()
+	size := r.Size()
+	block := send.Len()
+	if recv.Len() != block*size {
+		panic("coll: allgather receive buffer must hold Size() blocks")
+	}
+	me := r.Rank()
+	base := allgatherRingTagBase + int(seq%allgatherRingTagBase)
+
+	// Own block in place.
+	r.Node().HW.Copy(r.Proc(), block, r.Node().HW.Cached(2*block))
+	data.Copy(recv.Slice(me*block, block), send)
+
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	for s := 0; s < size-1; s++ {
+		outIdx := (me - s + size) % size
+		inIdx := (me - s - 1 + size) % size
+		r.Sendrecv(right, recv.Slice(outIdx*block, block), base+s,
+			left, recv.Slice(inIdx*block, block), base+s)
+	}
+}

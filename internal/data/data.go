@@ -1,0 +1,164 @@
+// Package data provides the message-buffer abstraction shared by all
+// collective algorithms. A Buf either owns real bytes (functional runs:
+// tests, examples) or is a phantom of a given length (large timing-only
+// benchmark runs, where allocating thousands of multi-megabyte rank buffers
+// would be prohibitive). Copy and reduction helpers move real data when both
+// operands are real and degrade to no-ops otherwise, so algorithm code is
+// identical in both modes and the virtual-time cost model is unaffected.
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// bufIDs assigns each allocated buffer a distinct identity, used as the key
+// of CNK process-window mapping caches.
+var bufIDs atomic.Uint64
+
+// Buf is a byte buffer view. The zero value is an empty real buffer.
+type Buf struct {
+	b  []byte // nil for phantom buffers (when n > 0)
+	n  int
+	id uint64
+}
+
+// Real wraps an existing byte slice.
+func Real(b []byte) Buf { return Buf{b: b, n: len(b), id: bufIDs.Add(1)} }
+
+// Phantom returns a length-only buffer carrying no data.
+func Phantom(n int) Buf {
+	if n < 0 {
+		panic("data: negative phantom length")
+	}
+	return Buf{n: n, id: bufIDs.Add(1)}
+}
+
+// ID identifies the buffer allocation; slices share their parent's identity.
+// Process-window mapping caches key on it.
+func (b Buf) ID() uint64 { return b.id }
+
+// New returns a buffer of n bytes: real when functional is true, phantom
+// otherwise.
+func New(n int, functional bool) Buf {
+	if functional {
+		return Real(make([]byte, n))
+	}
+	return Phantom(n)
+}
+
+// Len returns the buffer length in bytes.
+func (b Buf) Len() int { return b.n }
+
+// IsReal reports whether the buffer carries actual data.
+func (b Buf) IsReal() bool { return b.b != nil || b.n == 0 }
+
+// Bytes returns the underlying slice of a real buffer and panics for a
+// phantom: callers must check IsReal when a run may be timing-only.
+func (b Buf) Bytes() []byte {
+	if !b.IsReal() {
+		panic("data: Bytes on phantom buffer")
+	}
+	return b.b
+}
+
+// Slice returns the sub-buffer [off, off+n).
+func (b Buf) Slice(off, n int) Buf {
+	if off < 0 || n < 0 || off+n > b.n {
+		panic(fmt.Sprintf("data: slice [%d:%d) of %d-byte buffer", off, off+n, b.n))
+	}
+	if b.IsReal() {
+		return Buf{b: b.b[off : off+n], n: n, id: b.id}
+	}
+	return Buf{n: n, id: b.id}
+}
+
+// Copy copies src into dst. Lengths must match; data moves only when both
+// buffers are real.
+func Copy(dst, src Buf) {
+	if dst.n != src.n {
+		panic(fmt.Sprintf("data: copy length mismatch %d != %d", dst.n, src.n))
+	}
+	if dst.IsReal() && src.IsReal() {
+		copy(dst.b, src.b)
+	}
+}
+
+// Float64Len is the byte size of one float64 element.
+const Float64Len = 8
+
+// Floats interprets a real buffer as little-endian float64 values.
+func (b Buf) Floats() []float64 {
+	raw := b.Bytes()
+	if len(raw)%Float64Len != 0 {
+		panic("data: buffer length not a multiple of 8")
+	}
+	out := make([]float64, len(raw)/Float64Len)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*Float64Len:]))
+	}
+	return out
+}
+
+// PutFloats encodes vals into the real buffer as little-endian float64.
+func (b Buf) PutFloats(vals []float64) {
+	raw := b.Bytes()
+	if len(raw) != len(vals)*Float64Len {
+		panic("data: PutFloats length mismatch")
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[i*Float64Len:], math.Float64bits(v))
+	}
+}
+
+// AddFloats accumulates src's float64 view into dst element-wise
+// (dst += src). Lengths must match; a no-op unless both are real.
+func AddFloats(dst, src Buf) {
+	if dst.n != src.n {
+		panic(fmt.Sprintf("data: add length mismatch %d != %d", dst.n, src.n))
+	}
+	if !dst.IsReal() || !src.IsReal() {
+		return
+	}
+	if dst.n%Float64Len != 0 {
+		panic("data: AddFloats on non-multiple-of-8 buffer")
+	}
+	for off := 0; off < dst.n; off += Float64Len {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst.b[off:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src.b[off:]))
+		binary.LittleEndian.PutUint64(dst.b[off:], math.Float64bits(d+s))
+	}
+}
+
+// Fill writes a deterministic byte pattern derived from seed into a real
+// buffer; a no-op for phantoms. Used by tests and examples to verify
+// collective delivery.
+func (b Buf) Fill(seed uint64) {
+	if !b.IsReal() {
+		return
+	}
+	x := seed*2862933555777941757 + 3037000493
+	for i := range b.b {
+		x = x*2862933555777941757 + 3037000493
+		b.b[i] = byte(x >> 56)
+	}
+}
+
+// Equal reports whether two real buffers hold identical bytes. Phantom
+// buffers compare equal by length alone.
+func Equal(a, b Buf) bool {
+	if a.n != b.n {
+		return false
+	}
+	if !a.IsReal() || !b.IsReal() {
+		return true
+	}
+	for i := range a.b {
+		if a.b[i] != b.b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRealRoundTrip(t *testing.T) {
+	b := Real([]byte{1, 2, 3})
+	if !b.IsReal() || b.Len() != 3 {
+		t.Fatal("Real buffer misreported")
+	}
+	if b.Bytes()[1] != 2 {
+		t.Fatal("Bytes lost data")
+	}
+}
+
+func TestPhantom(t *testing.T) {
+	b := Phantom(10)
+	if b.IsReal() {
+		t.Fatal("phantom reported real")
+	}
+	if b.Len() != 10 {
+		t.Fatal("phantom length wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes on phantom did not panic")
+		}
+	}()
+	b.Bytes()
+}
+
+func TestZeroValueIsEmptyReal(t *testing.T) {
+	var b Buf
+	if !b.IsReal() || b.Len() != 0 {
+		t.Fatal("zero Buf not an empty real buffer")
+	}
+}
+
+func TestNew(t *testing.T) {
+	if !New(5, true).IsReal() {
+		t.Error("functional New not real")
+	}
+	if New(5, false).IsReal() {
+		t.Error("phantom New real")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	b := Real([]byte{0, 1, 2, 3, 4})
+	s := b.Slice(1, 3)
+	if s.Len() != 3 || s.Bytes()[0] != 1 {
+		t.Fatal("slice wrong")
+	}
+	// Slices alias the parent.
+	s.Bytes()[0] = 9
+	if b.Bytes()[1] != 9 {
+		t.Fatal("slice does not alias")
+	}
+	p := Phantom(5).Slice(2, 2)
+	if p.IsReal() || p.Len() != 2 {
+		t.Fatal("phantom slice wrong")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slice did not panic")
+		}
+	}()
+	Real(make([]byte, 4)).Slice(2, 3)
+}
+
+func TestCopyRealAndPhantom(t *testing.T) {
+	src := Real([]byte{5, 6, 7})
+	dst := Real(make([]byte, 3))
+	Copy(dst, src)
+	if !Equal(dst, src) {
+		t.Fatal("copy lost data")
+	}
+	// Phantom participation must not panic.
+	Copy(Phantom(3), src)
+	Copy(dst, Phantom(3))
+}
+
+func TestCopyLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Copy(Real(make([]byte, 2)), Real(make([]byte, 3)))
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	vals := []float64{1.5, -2.25, 1e300}
+	b := Real(make([]byte, len(vals)*Float64Len))
+	b.PutFloats(vals)
+	got := b.Floats()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("Floats[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestAddFloats(t *testing.T) {
+	a := Real(make([]byte, 16))
+	b := Real(make([]byte, 16))
+	a.PutFloats([]float64{1, 2})
+	b.PutFloats([]float64{10, 20})
+	AddFloats(a, b)
+	got := a.Floats()
+	if got[0] != 11 || got[1] != 22 {
+		t.Fatalf("AddFloats = %v", got)
+	}
+}
+
+func TestAddFloatsPhantomNoop(t *testing.T) {
+	a := Real(make([]byte, 16))
+	a.PutFloats([]float64{1, 2})
+	AddFloats(a, Phantom(16))
+	if got := a.Floats(); got[0] != 1 {
+		t.Fatalf("phantom add mutated dst: %v", got)
+	}
+}
+
+func TestFillDeterministic(t *testing.T) {
+	a := Real(make([]byte, 64))
+	b := Real(make([]byte, 64))
+	a.Fill(42)
+	b.Fill(42)
+	if !Equal(a, b) {
+		t.Fatal("Fill not deterministic")
+	}
+	b.Fill(43)
+	if Equal(a, b) {
+		t.Fatal("different seeds produced identical fill")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	if Equal(Real([]byte{1}), Real([]byte{1, 2})) {
+		t.Error("length mismatch compared equal")
+	}
+	if !Equal(Phantom(4), Real(make([]byte, 4))) {
+		t.Error("phantom vs real of same length must compare equal")
+	}
+}
+
+func TestCopyPropertyPreservesData(t *testing.T) {
+	f := func(src []byte) bool {
+		s := Real(src)
+		d := Real(make([]byte, len(src)))
+		Copy(d, s)
+		return Equal(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddFloatsCommutative(t *testing.T) {
+	f := func(x, y []int16) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		a1 := Real(make([]byte, n*Float64Len))
+		b1 := Real(make([]byte, n*Float64Len))
+		a2 := Real(make([]byte, n*Float64Len))
+		b2 := Real(make([]byte, n*Float64Len))
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i], ys[i] = float64(x[i]), float64(y[i])
+		}
+		a1.PutFloats(xs)
+		b1.PutFloats(ys)
+		a2.PutFloats(ys)
+		b2.PutFloats(xs)
+		AddFloats(a1, b1)
+		AddFloats(a2, b2)
+		return Equal(a1, a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufIdentity(t *testing.T) {
+	a := New(16, true)
+	b := New(16, true)
+	if a.ID() == b.ID() {
+		t.Fatal("distinct buffers share an ID")
+	}
+	if a.Slice(4, 8).ID() != a.ID() {
+		t.Fatal("slice does not inherit parent ID")
+	}
+	if Phantom(8).ID() == Phantom(8).ID() {
+		t.Fatal("phantoms share an ID")
+	}
+}

@@ -1,0 +1,67 @@
+// Package machine assembles a complete simulated BG/P partition from the
+// hardware substrates: the nodes with their memory systems and DMA engines,
+// the 3D torus, and the collective tree network, all driven by one
+// simulation kernel.
+package machine
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/dma"
+	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/sim"
+	"bgpcoll/internal/torus"
+	"bgpcoll/internal/trace"
+	"bgpcoll/internal/tree"
+)
+
+// Node bundles one compute node's devices.
+type Node struct {
+	HW  *hw.Node
+	DMA *dma.Engine
+}
+
+// Machine is one simulated partition.
+type Machine struct {
+	K     *sim.Kernel
+	Cfg   hw.Config
+	Geom  geometry.Torus
+	Nodes []*Node
+	Torus *torus.Network
+	Tree  *tree.Network
+
+	// Trace, when non-nil, records schedule and protocol events.
+	Trace *trace.Log
+}
+
+// New validates cfg and builds the partition.
+func New(cfg hw.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	k := sim.New()
+	m := &Machine{
+		K:     k,
+		Cfg:   cfg,
+		Geom:  cfg.Torus,
+		Torus: torus.New(k, cfg.Torus, cfg.Params),
+		Tree:  tree.New(k, cfg.Torus, cfg.Params),
+	}
+	m.Nodes = make([]*Node, cfg.Nodes())
+	for id := range m.Nodes {
+		n := hw.NewNode(k, id, cfg.Torus.CoordOf(id), cfg.Params)
+		m.Nodes[id] = &Node{HW: n, DMA: dma.New(k, n)}
+	}
+	return m, nil
+}
+
+// Node returns the node with the given id.
+func (m *Machine) Node(id int) *Node { return m.Nodes[id] }
+
+// NodeAt returns the node at coordinate c.
+func (m *Machine) NodeAt(c geometry.Coord) *Node { return m.Nodes[m.Geom.NodeID(c)] }
+
+// Colors returns the color set the torus collectives use: six edge-disjoint
+// routes on a torus partition.
+func (m *Machine) Colors() []geometry.Color { return geometry.TorusColors() }

@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"testing"
+
+	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/hw"
+)
+
+func TestNewBuildsAllDevices(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nodes) != cfg.Nodes() {
+		t.Fatalf("nodes = %d, want %d", len(m.Nodes), cfg.Nodes())
+	}
+	for id, n := range m.Nodes {
+		if n.HW == nil || n.DMA == nil {
+			t.Fatalf("node %d missing devices", id)
+		}
+		if n.HW.ID != id {
+			t.Fatalf("node %d has id %d", id, n.HW.ID)
+		}
+		if m.Geom.NodeID(n.HW.Coord) != id {
+			t.Fatalf("node %d coordinate mismatch", id)
+		}
+	}
+	if m.Torus == nil || m.Tree == nil || m.K == nil {
+		t.Fatal("networks or kernel missing")
+	}
+	if m.Tree.Nodes() != cfg.Nodes() {
+		t.Fatalf("tree spans %d nodes", m.Tree.Nodes())
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	cfg.Mode = hw.Mode(7)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	cfg = hw.DefaultConfig()
+	cfg.Torus = geometry.Torus{DX: 0, DY: 1, DZ: 1}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid torus accepted")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	m, err := New(hw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := geometry.XYZ(2, 3, 1)
+	if m.NodeAt(c) != m.Node(m.Geom.NodeID(c)) {
+		t.Fatal("NodeAt and Node disagree")
+	}
+	if len(m.Colors()) != 6 {
+		t.Fatalf("colors = %d, want 6", len(m.Colors()))
+	}
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"bgpcoll/internal/sim"
+)
+
+// Report summarizes how a run used the partition's hardware resources.
+// Utilizations are averages over the given makespan; per-node figures
+// average across nodes.
+type Report struct {
+	Makespan sim.Time
+
+	TorusLinks    int
+	TorusBytes    int64
+	TorusLinkUtil float64 // mean busy fraction per active link
+	DMABytes      int64
+	DMAUtil       float64 // mean busy fraction per engine
+	DMAPeakUtil   float64 // busiest engine
+	TreeBytes     int64
+	TreeUtil      float64
+	BusBytes      int64
+	BusUtil       float64
+}
+
+// Report gathers resource statistics over the elapsed makespan.
+func (m *Machine) Report(makespan sim.Time) Report {
+	r := Report{Makespan: makespan}
+	if makespan <= 0 {
+		return r
+	}
+	span := float64(makespan)
+
+	links, lb, lbusy := m.Torus.Stats()
+	r.TorusLinks = links
+	r.TorusBytes = lb
+	if links > 0 {
+		r.TorusLinkUtil = float64(lbusy) / span / float64(links)
+	}
+
+	var dmaBusy sim.Time
+	for _, n := range m.Nodes {
+		b, busy, _ := n.DMA.Stats()
+		r.DMABytes += b
+		dmaBusy += busy
+		if u := float64(busy) / span; u > r.DMAPeakUtil {
+			r.DMAPeakUtil = u
+		}
+		bb, bbusy, _ := n.HW.Bus.Stats()
+		r.BusBytes += bb
+		r.BusUtil += float64(bbusy) / span
+	}
+	n := float64(len(m.Nodes))
+	r.DMAUtil = float64(dmaBusy) / span / n
+	r.BusUtil /= n
+
+	tb, tbusy, _ := m.Tree.Stats()
+	r.TreeBytes = tb
+	r.TreeUtil = float64(tbusy) / span
+	return r
+}
+
+// String renders the report as an aligned table.
+func (r Report) String() string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "resource\tbytes moved\tutilization\n")
+	fmt.Fprintf(tw, "torus links (%d active)\t%s\t%.0f%% mean\n",
+		r.TorusLinks, fmtBytes(r.TorusBytes), 100*r.TorusLinkUtil)
+	fmt.Fprintf(tw, "DMA engines\t%s\t%.0f%% mean, %.0f%% peak\n",
+		fmtBytes(r.DMABytes), 100*r.DMAUtil, 100*r.DMAPeakUtil)
+	fmt.Fprintf(tw, "collective tree\t%s\t%.0f%%\n", fmtBytes(r.TreeBytes), 100*r.TreeUtil)
+	fmt.Fprintf(tw, "memory buses\t%s\t%.0f%% mean\n", fmtBytes(r.BusBytes), 100*r.BusUtil)
+	tw.Flush()
+	return sb.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/sim"
+)
+
+func TestReportZeroMakespan(t *testing.T) {
+	m, err := New(hw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report(0)
+	if r.DMAUtil != 0 || r.TorusLinks != 0 {
+		t.Fatal("zero-makespan report not empty")
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	m, err := New(hw.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive some traffic directly.
+	m.K.At(0, func() {
+		m.Node(0).DMA.Inject(0, 1<<20)
+		m.Node(1).DMA.Receive(0, 1<<20)
+		m.Node(0).HW.Bus.Reserve(1 << 20)
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report(sim.Millisecond)
+	if r.DMABytes != 2<<20 {
+		t.Fatalf("DMA bytes = %d", r.DMABytes)
+	}
+	if r.BusBytes != 1<<20 {
+		t.Fatalf("bus bytes = %d", r.BusBytes)
+	}
+	if r.DMAPeakUtil < r.DMAUtil {
+		t.Fatal("peak utilization below mean")
+	}
+	out := r.String()
+	for _, frag := range []string{"DMA engines", "torus links", "collective tree", "memory buses"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.00 KB",
+		3 << 20: "3.00 MB",
+		5 << 30: "5.00 GB",
+	}
+	for n, want := range cases {
+		if got := fmtBytes(n); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

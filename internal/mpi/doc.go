@@ -1,0 +1,20 @@
+// Package mpi is the MPI-like runtime and API of the simulated stack: it
+// plays the role MPICH plays on the real machine, glued over the messaging
+// substrates the way the paper's implementation is glued over DCMF/CCMI.
+//
+// A World launches one simulated process per MPI rank (quad mode: four ranks
+// per node, each owning one PowerPC core). Rank programs are ordinary Go
+// functions receiving a *Rank, whose methods provide the MPI surface:
+// Bcast, AllreduceSum, Barrier, Send/Recv, Gather, Allgather.
+//
+// Collective algorithm implementations live in package coll and register
+// themselves by name; Tunables select an algorithm explicitly or leave the
+// runtime to choose by message size and operating mode, mirroring how CCMI
+// registries select protocols on BG/P.
+//
+// Ranks of one node coordinate through shared per-node operation state
+// (counters, FIFOs, events) obtained from the world's rendezvous registry,
+// keyed by each rank's collective sequence number — the simulated equivalent
+// of the pre-agreed shared-memory segments and process windows on a real
+// node.
+package mpi

@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/sim"
+)
+
+// Nonblocking point-to-point operations. The network side of a transfer is
+// driven by the DMA engine and needs no core, so Isend and Irecv issue their
+// reservations event-driven and return a Request immediately. Core-side
+// costs — the receiving core's copy-out for eager and intra-node messages —
+// are charged when the owning rank waits on the request, which is where the
+// MPI progress engine performs them on the real machine.
+
+// Request tracks one outstanding nonblocking operation. It completes when
+// its event fires; Wait additionally runs the deferred core-side work.
+type Request struct {
+	owner *Rank
+	ev    *sim.Event
+	// onWait runs in the waiting rank's process after ev fires, charging
+	// any core-side completion cost.
+	onWait func()
+}
+
+// Wait blocks the owning rank until the operation completes.
+func (q *Request) Wait() {
+	q.owner.proc.Wait(q.ev)
+	if q.onWait != nil {
+		q.onWait()
+		q.onWait = nil
+	}
+}
+
+// Done reports whether the operation has completed (Wait may still have
+// deferred completion work to run).
+func (q *Request) Done() bool { return q.ev.Fired() }
+
+// WaitAll completes a set of requests.
+func (r *Rank) WaitAll(reqs ...*Request) {
+	for _, q := range reqs {
+		if q.owner != r {
+			panic("mpi: WaitAll on another rank's request")
+		}
+		q.Wait()
+	}
+}
+
+// Isend starts sending buf to dst and returns immediately. The request
+// completes when the local buffer may be reused (eager: injected;
+// rendezvous: the remote direct put finished).
+func (r *Rank) Isend(dst int, buf data.Buf, tag int) *Request {
+	if dst == r.id {
+		panic("mpi: send to self")
+	}
+	to := r.w.ranks[dst]
+	k := r.w.M.K
+	n := buf.Len()
+	req := &Request{owner: r, ev: k.NewEvent(fmt.Sprintf("isend.%d.%d.%d", r.id, dst, tag))}
+
+	if to.nodeID == r.nodeID {
+		// Intra-node: publish through shared memory; complete after the
+		// flag propagates.
+		arr := &arrival{buf: buf, availableAt: k.Now() + r.node.HW.P.PollLatency, local: true}
+		k.After(r.node.HW.P.PollLatency, func() {
+			to.deliver(r.id, tag, arr)
+			req.ev.Fire()
+		})
+		return req
+	}
+
+	if n <= r.w.Tunables.EagerLimit {
+		wire := r.w.M.Torus.WireBytes(n)
+		injDone := r.node.DMA.Inject(k.Now(), wire)
+		netAt := r.w.M.Torus.Unicast(injDone, r.Coord(), to.Coord(), ptpLane, n)
+		k.At(netAt, func() {
+			rxDone := to.node.DMA.Receive(k.Now(), wire)
+			arr := &arrival{buf: buf, availableAt: rxDone}
+			k.At(rxDone, func() { to.deliver(r.id, tag, arr) })
+		})
+		k.At(injDone, req.ev.Fire)
+		return req
+	}
+
+	// Rendezvous, event-driven: RTS now; once the receiver posts (CTS), the
+	// DMA direct put is reserved and both sides complete at its end.
+	rdv := &rendezvous{
+		src:     r,
+		cts:     k.NewEvent(fmt.Sprintf("icts.%d.%d", r.id, dst)),
+		putDone: k.NewEvent(fmt.Sprintf("iput.%d.%d", r.id, dst)),
+	}
+	rtsAt := r.w.M.Torus.Unicast(k.Now(), r.Coord(), to.Coord(), ctrlLane, ctrlBytes)
+	k.At(rtsAt, func() {
+		to.deliver(r.id, tag, &arrival{buf: buf, availableAt: rtsAt, rdv: rdv})
+	})
+	rdv.cts.OnFire(func() {
+		wire := r.w.M.Torus.WireBytes(n)
+		injDone := r.node.DMA.Inject(k.Now(), wire)
+		netAt := r.w.M.Torus.Unicast(injDone, r.Coord(), to.Coord(), ptpLane, n)
+		dst2 := rdv.dstBuf
+		k.At(netAt, func() {
+			rxDone := to.node.DMA.Receive(k.Now(), wire)
+			k.At(rxDone, func() {
+				if dst2.Len() == buf.Len() {
+					data.Copy(dst2, buf)
+				}
+				rdv.putDone.Fire()
+			})
+		})
+	})
+	rdv.putDone.OnFire(req.ev.Fire)
+	return req
+}
+
+// Irecv starts receiving a message from src with the given tag into buf and
+// returns immediately. The receiving core's copy (eager and intra-node
+// paths) is charged when the request is waited on.
+func (r *Rank) Irecv(src int, buf data.Buf, tag int) *Request {
+	k := r.w.M.K
+	req := &Request{owner: r, ev: k.NewEvent(fmt.Sprintf("irecv.%d.%d.%d", r.id, src, tag))}
+
+	handle := func(arr *arrival) {
+		if arr.rdv != nil {
+			rdv := arr.rdv
+			rdv.dstBuf = buf
+			ctsAt := r.w.M.Torus.Unicast(k.Now(), r.Coord(), rdv.src.Coord(), ctrlLane, ctrlBytes)
+			k.At(ctsAt, rdv.cts.Fire)
+			rdv.putDone.OnFire(req.ev.Fire)
+			return
+		}
+		local := arr.local
+		payload := arr.buf
+		finish := func() {
+			if buf.Len() != payload.Len() {
+				panic(fmt.Sprintf("mpi: irecv buffer %d bytes, message %d bytes", buf.Len(), payload.Len()))
+			}
+			req.onWait = func() {
+				if local {
+					r.node.HW.Poll(r.proc)
+				}
+				cached := r.node.HW.Cached(2 * buf.Len())
+				r.node.HW.Copy(r.proc, buf.Len(), cached)
+				data.Copy(buf, payload)
+			}
+			req.ev.Fire()
+		}
+		if arr.availableAt > k.Now() {
+			k.At(arr.availableAt, finish)
+		} else {
+			finish()
+		}
+	}
+
+	// Match an already-arrived message or register an event-driven posted
+	// receive.
+	key := matchKey{src: src, tag: tag}
+	box := r.inbox
+	if arrs := box.arrived[key]; len(arrs) > 0 {
+		arr := arrs[0]
+		box.arrived[key] = arrs[1:]
+		handle(arr)
+		return req
+	}
+	pr := &recvReq{ev: k.NewEvent(fmt.Sprintf("ipost.%d.%d.%d", r.id, src, tag))}
+	box.posted[key] = append(box.posted[key], pr)
+	pr.ev.OnFire(func() { handle(pr.arr) })
+	return req
+}
+
+// Sendrecv exchanges messages with two (possibly different) peers without
+// deadlock: both transfers progress concurrently, as MPI_Sendrecv requires.
+func (r *Rank) Sendrecv(dst int, sendBuf data.Buf, sendTag int, src int, recvBuf data.Buf, recvTag int) {
+	rq := r.Irecv(src, recvBuf, recvTag)
+	sq := r.Isend(dst, sendBuf, sendTag)
+	r.WaitAll(rq, sq)
+}

@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/sim"
+)
+
+// Point-to-point messaging over the torus DMA, the substrate role DCMF plays
+// on the real machine. Two protocols, selected by Tunables.EagerLimit:
+//
+//   - Eager: the payload is injected immediately and lands in the receiver's
+//     memory FIFO; the receiving core copies it into the application buffer
+//     when the receive is matched.
+//   - Rendezvous: a request-to-send control message travels first; once the
+//     receive is posted, the payload is moved by DMA direct put straight
+//     into the application buffer, with no core copy.
+//
+// Intra-node messages skip the torus and are copied by the receiving core
+// through shared memory.
+
+const ctrlBytes = 32 // control packet payload (RTS/CTS)
+
+// ptpLane is the torus link lane used by point-to-point payload traffic
+// (distinct from the collective color lanes 0..11).
+const ptpLane = 12
+
+// ctrlLane carries RTS/CTS control packets. On the real machine control
+// packets interleave with bulk data at packet granularity (the torus
+// multiplexes virtual channels); a separate lane approximates that a 32-byte
+// control packet never waits behind a megabyte transfer.
+const ctrlLane = 13
+
+type matchKey struct {
+	src, tag int
+}
+
+type mailbox struct {
+	arrived map[matchKey][]*arrival
+	posted  map[matchKey][]*recvReq
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		arrived: make(map[matchKey][]*arrival),
+		posted:  make(map[matchKey][]*recvReq),
+	}
+}
+
+type arrival struct {
+	buf         data.Buf // sender-side payload view
+	availableAt sim.Time
+	rdv         *rendezvous // non-nil: this is a rendezvous RTS
+	local       bool        // sender is on the same node
+}
+
+type recvReq struct {
+	ev  *sim.Event
+	arr *arrival
+}
+
+type rendezvous struct {
+	src     *Rank
+	cts     *sim.Event // receiver posted; carries dst buffer
+	putDone *sim.Event
+	dstBuf  data.Buf
+}
+
+// deliver hands an arrival to the destination rank's mailbox, matching a
+// posted receive if one exists.
+func (r *Rank) deliver(src, tag int, arr *arrival) {
+	key := matchKey{src: src, tag: tag}
+	box := r.inbox
+	if reqs := box.posted[key]; len(reqs) > 0 {
+		req := reqs[0]
+		box.posted[key] = reqs[1:]
+		req.arr = arr
+		req.ev.Fire()
+		return
+	}
+	box.arrived[key] = append(box.arrived[key], arr)
+}
+
+// takeArrival removes a matching arrival or registers a posted receive.
+func (r *Rank) takeArrival(src, tag int) *arrival {
+	key := matchKey{src: src, tag: tag}
+	box := r.inbox
+	if arrs := box.arrived[key]; len(arrs) > 0 {
+		arr := arrs[0]
+		box.arrived[key] = arrs[1:]
+		return arr
+	}
+	req := &recvReq{ev: r.w.M.K.NewEvent(fmt.Sprintf("recv.%d.%d.%d", r.id, src, tag))}
+	box.posted[key] = append(box.posted[key], req)
+	r.proc.Wait(req.ev)
+	return req.arr
+}
+
+// Send transmits buf to global rank dst with the given tag. Eager sends
+// return once the payload is injected; rendezvous sends return when the
+// direct put has completed.
+func (r *Rank) Send(dst int, buf data.Buf, tag int) {
+	if dst == r.id {
+		panic("mpi: send to self")
+	}
+	to := r.w.ranks[dst]
+	k := r.w.M.K
+	n := buf.Len()
+
+	if to.nodeID == r.nodeID {
+		// Intra-node: publish through shared memory; the receiver's core
+		// performs the copy.
+		r.node.HW.Poll(r.proc)
+		to.deliver(r.id, tag, &arrival{buf: buf, availableAt: k.Now(), local: true})
+		return
+	}
+
+	if n <= r.w.Tunables.EagerLimit {
+		wire := r.w.M.Torus.WireBytes(n)
+		injDone := r.node.DMA.Inject(k.Now(), wire)
+		netAt := r.w.M.Torus.Unicast(injDone, r.Coord(), to.Coord(), ptpLane, n)
+		// The destination engine is charged at arrival time so its
+		// reservations stay in virtual-time order.
+		k.At(netAt, func() {
+			rxDone := to.node.DMA.Receive(k.Now(), wire)
+			arr := &arrival{buf: buf, availableAt: rxDone}
+			k.At(rxDone, func() { to.deliver(r.id, tag, arr) })
+		})
+		r.proc.SleepUntil(injDone)
+		return
+	}
+
+	// Rendezvous: RTS control, wait for CTS, direct put into the posted
+	// application buffer.
+	rdv := &rendezvous{
+		src:     r,
+		cts:     k.NewEvent(fmt.Sprintf("cts.%d.%d", r.id, dst)),
+		putDone: k.NewEvent(fmt.Sprintf("put.%d.%d", r.id, dst)),
+	}
+	rtsAt := r.w.M.Torus.Unicast(k.Now(), r.Coord(), to.Coord(), ctrlLane, ctrlBytes)
+	k.At(rtsAt, func() {
+		to.deliver(r.id, tag, &arrival{buf: buf, availableAt: rtsAt, rdv: rdv})
+	})
+	r.proc.Wait(rdv.cts)
+	wire := r.w.M.Torus.WireBytes(n)
+	injDone := r.node.DMA.Inject(k.Now(), wire)
+	netAt := r.w.M.Torus.Unicast(injDone, r.Coord(), to.Coord(), ptpLane, n)
+	dst2 := rdv.dstBuf
+	k.At(netAt, func() {
+		rxDone := to.node.DMA.Receive(k.Now(), wire)
+		k.At(rxDone, func() {
+			if dst2.Len() == buf.Len() {
+				data.Copy(dst2, buf)
+			}
+			rdv.putDone.Fire()
+		})
+	})
+	r.proc.Wait(rdv.putDone)
+}
+
+// Recv receives a message from global rank src with the given tag into buf,
+// blocking until the payload is in place.
+func (r *Rank) Recv(src int, buf data.Buf, tag int) {
+	arr := r.takeArrival(src, tag)
+	k := r.w.M.K
+
+	if arr.rdv != nil {
+		// Answer the RTS with a CTS carrying the destination buffer, then
+		// wait for the direct put. No core copy: zero-copy reception.
+		rdv := arr.rdv
+		rdv.dstBuf = buf
+		ctsAt := r.w.M.Torus.Unicast(k.Now(), r.Coord(), rdv.src.Coord(), ctrlLane, ctrlBytes)
+		k.At(ctsAt, rdv.cts.Fire)
+		r.proc.Wait(rdv.putDone)
+		return
+	}
+
+	// Eager or intra-node: wait for the payload and copy it out with this
+	// rank's core.
+	r.proc.SleepUntil(arr.availableAt)
+	if arr.local {
+		r.node.HW.Poll(r.proc)
+	}
+	if buf.Len() != arr.buf.Len() {
+		panic(fmt.Sprintf("mpi: recv buffer %d bytes, message %d bytes", buf.Len(), arr.buf.Len()))
+	}
+	cached := r.node.HW.Cached(2 * buf.Len())
+	r.node.HW.Copy(r.proc, buf.Len(), cached)
+	data.Copy(buf, arr.buf)
+}

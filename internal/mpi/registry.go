@@ -1,0 +1,228 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpcoll/internal/data"
+	"bgpcoll/internal/hw"
+)
+
+// Well-known collective algorithm names. Implementations live in package
+// coll and register under these names; Tunables select among them.
+const (
+	// Bcast over the collective (tree) network.
+	BcastTreeSMP       = "tree.smp"       // SMP mode: main + helper thread
+	BcastTreeShmem     = "tree.shmem"     // quad: shared-memory segment (latency)
+	BcastTreeDMAFIFO   = "tree.dmafifo"   // quad: DMA to per-core memory FIFOs
+	BcastTreeDMADirect = "tree.dmadirect" // quad: DMA direct put to peers
+	BcastTreeShaddr    = "tree.shaddr"    // quad: shared address + core specialization
+
+	// Bcast over the 3D torus.
+	BcastTorusDirectPut = "torus.directput" // DMA for network and intra-node
+	BcastTorusFIFO      = "torus.fifo"      // concurrent Bcast FIFO staging
+	BcastTorusShaddr    = "torus.shaddr"    // shared address + message counters
+
+	// Allreduce over the 3D torus.
+	AllreduceTorusCurrent = "allreduce.current" // DMA-based intra-node phases
+	AllreduceTorusNew     = "allreduce.shaddr"  // core specialization + windows
+
+	// Extension collectives (the paper's future work).
+	GatherTorus    = "gather.torus"
+	AllgatherTorus = "allgather.torus"
+	AllgatherRing  = "allgather.ring"
+	ReduceTorus    = "reduce.torus"
+	ScatterTorus   = "scatter.torus"
+	AlltoallTorus  = "alltoall.torus"
+)
+
+// BcastFn broadcasts buf (the full message buffer on every rank; the root's
+// holds the payload) from global rank root.
+type BcastFn func(r *Rank, buf data.Buf, root int)
+
+// AllreduceFn reduces send element-wise (float64 sum) across all ranks into
+// recv on every rank.
+type AllreduceFn func(r *Rank, send, recv data.Buf)
+
+// GatherFn gathers each rank's send buffer into the root's recv buffer
+// (rank i's data at offset i*send.Len()).
+type GatherFn func(r *Rank, send, recv data.Buf, root int)
+
+// AllgatherFn gathers each rank's send buffer into every rank's recv buffer.
+type AllgatherFn func(r *Rank, send, recv data.Buf)
+
+// ReduceFn reduces send element-wise (float64 sum) across all ranks into the
+// root's recv buffer.
+type ReduceFn func(r *Rank, send, recv data.Buf, root int)
+
+// ScatterFn distributes the root's send buffer block-wise: rank i receives
+// the i-th block into recv.
+type ScatterFn func(r *Rank, send, recv data.Buf, root int)
+
+// AlltoallFn exchanges blocks: rank i's j-th send block lands in rank j's
+// i-th recv block.
+type AlltoallFn func(r *Rank, send, recv data.Buf)
+
+var (
+	bcastAlgos     = map[string]BcastFn{}
+	allreduceAlgos = map[string]AllreduceFn{}
+	gatherAlgos    = map[string]GatherFn{}
+	allgatherAlgos = map[string]AllgatherFn{}
+	reduceAlgos    = map[string]ReduceFn{}
+	scatterAlgos   = map[string]ScatterFn{}
+	alltoallAlgos  = map[string]AlltoallFn{}
+)
+
+// RegisterBcast installs a broadcast implementation under name.
+func RegisterBcast(name string, fn BcastFn) { bcastAlgos[name] = fn }
+
+// RegisterAllreduce installs an allreduce implementation under name.
+func RegisterAllreduce(name string, fn AllreduceFn) { allreduceAlgos[name] = fn }
+
+// RegisterGather installs a gather implementation under name.
+func RegisterGather(name string, fn GatherFn) { gatherAlgos[name] = fn }
+
+// RegisterAllgather installs an allgather implementation under name.
+func RegisterAllgather(name string, fn AllgatherFn) { allgatherAlgos[name] = fn }
+
+// RegisterReduce installs a reduce implementation under name.
+func RegisterReduce(name string, fn ReduceFn) { reduceAlgos[name] = fn }
+
+// RegisterScatter installs a scatter implementation under name.
+func RegisterScatter(name string, fn ScatterFn) { scatterAlgos[name] = fn }
+
+// RegisterAlltoall installs an alltoall implementation under name.
+func RegisterAlltoall(name string, fn AlltoallFn) { alltoallAlgos[name] = fn }
+
+// BcastAlgorithms lists the registered broadcast algorithm names.
+func BcastAlgorithms() []string {
+	names := make([]string, 0, len(bcastAlgos))
+	for n := range bcastAlgos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupBcast(name string) BcastFn {
+	fn, ok := bcastAlgos[name]
+	if !ok {
+		panic(fmt.Sprintf("mpi: no bcast algorithm %q registered (have %v)", name, BcastAlgorithms()))
+	}
+	return fn
+}
+
+func lookupAllreduce(name string) AllreduceFn {
+	fn, ok := allreduceAlgos[name]
+	if !ok {
+		panic(fmt.Sprintf("mpi: no allreduce algorithm %q registered", name))
+	}
+	return fn
+}
+
+// Bcast broadcasts buf from the given root using the configured or
+// automatically selected algorithm.
+func (r *Rank) Bcast(buf data.Buf, root int) {
+	name := r.w.Tunables.Bcast
+	if name == "" {
+		name = r.autoBcast(buf.Len())
+	}
+	lookupBcast(name)(r, buf, root)
+}
+
+// autoBcast mirrors the production protocol selection: the collective
+// network serves short and medium messages, the torus serves large ones; in
+// quad mode the shared-memory tree algorithm serves the shortest messages
+// and the shared-address algorithms the rest (the paper's best performers).
+func (r *Rank) autoBcast(n int) string {
+	t := r.w.Tunables
+	if r.w.M.Cfg.Mode == hw.SMP {
+		if n <= t.TreeCrossover {
+			return BcastTreeSMP
+		}
+		return BcastTorusDirectPut
+	}
+	switch {
+	case n <= t.ShortBcast:
+		return BcastTreeShmem
+	case n <= t.TreeCrossover:
+		return BcastTreeShaddr
+	default:
+		return BcastTorusShaddr
+	}
+}
+
+// AllreduceSum performs a float64 sum allreduce of send into recv.
+func (r *Rank) AllreduceSum(send, recv data.Buf) {
+	if send.Len() != recv.Len() {
+		panic("mpi: allreduce buffer length mismatch")
+	}
+	if send.Len()%data.Float64Len != 0 {
+		panic("mpi: allreduce payload is not whole float64 elements")
+	}
+	name := r.w.Tunables.Allreduce
+	if name == "" {
+		name = AllreduceTorusNew
+		if r.w.M.Cfg.Mode == hw.SMP {
+			name = AllreduceTorusCurrent
+		}
+	}
+	lookupAllreduce(name)(r, send, recv)
+}
+
+// Gather gathers each rank's send into the root's recv.
+func (r *Rank) Gather(send, recv data.Buf, root int) {
+	name := r.w.Tunables.Gather
+	if name == "" {
+		name = GatherTorus
+	}
+	fn, ok := gatherAlgos[name]
+	if !ok {
+		panic(fmt.Sprintf("mpi: no gather algorithm %q registered", name))
+	}
+	fn(r, send, recv, root)
+}
+
+// Allgather gathers every rank's send into every rank's recv.
+func (r *Rank) Allgather(send, recv data.Buf) {
+	name := r.w.Tunables.Allgather
+	if name == "" {
+		name = AllgatherTorus
+	}
+	fn, ok := allgatherAlgos[name]
+	if !ok {
+		panic(fmt.Sprintf("mpi: no allgather algorithm %q registered", name))
+	}
+	fn(r, send, recv)
+}
+
+// ReduceSum performs a float64 sum reduction of send into the root's recv.
+func (r *Rank) ReduceSum(send, recv data.Buf, root int) {
+	if send.Len()%data.Float64Len != 0 {
+		panic("mpi: reduce payload is not whole float64 elements")
+	}
+	fn, ok := reduceAlgos[ReduceTorus]
+	if !ok {
+		panic("mpi: no reduce algorithm registered")
+	}
+	fn(r, send, recv, root)
+}
+
+// Scatter distributes the root's send buffer block-wise into every rank's
+// recv buffer.
+func (r *Rank) Scatter(send, recv data.Buf, root int) {
+	fn, ok := scatterAlgos[ScatterTorus]
+	if !ok {
+		panic("mpi: no scatter algorithm registered")
+	}
+	fn(r, send, recv, root)
+}
+
+// Alltoall exchanges equal-size blocks among all ranks.
+func (r *Rank) Alltoall(send, recv data.Buf) {
+	fn, ok := alltoallAlgos[AlltoallTorus]
+	if !ok {
+		panic("mpi: no alltoall algorithm registered")
+	}
+	fn(r, send, recv)
+}

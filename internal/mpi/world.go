@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpcoll/internal/cnk"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/machine"
+	"bgpcoll/internal/sim"
+)
+
+// World is one MPI job on a simulated partition.
+type World struct {
+	M        *machine.Machine
+	Tunables Tunables
+	ranks    []*Rank
+
+	ops map[opKey]*opEntry
+}
+
+// Tunables select collective algorithm implementations, mirroring the
+// protocol registries of CCMI. Empty strings mean automatic selection by
+// message size and mode.
+type Tunables struct {
+	Bcast     string
+	Allreduce string
+	Gather    string
+	Allgather string
+
+	// TreeCrossover is the largest Bcast payload routed to the collective
+	// network in automatic mode; larger messages use the torus.
+	TreeCrossover int
+
+	// ShortBcast is the largest payload using the latency-optimized
+	// shared-memory tree algorithm in automatic quad mode.
+	ShortBcast int
+
+	// EagerLimit is the largest point-to-point payload sent eagerly
+	// through memory FIFOs; larger messages use a rendezvous direct put.
+	EagerLimit int
+
+	// TorusColors limits the edge-disjoint routes the torus broadcast
+	// uses (1..6; 0 = all six). Exists for the color-count ablation.
+	TorusColors int
+}
+
+// DefaultTunables returns the automatic-selection thresholds.
+func DefaultTunables() Tunables {
+	return Tunables{
+		TreeCrossover: 256 << 10,
+		ShortBcast:    2 << 10,
+		EagerLimit:    4 << 10,
+	}
+}
+
+// NewWorld builds a world over a fresh machine. To record schedule events,
+// attach a log afterwards: w.M.Trace = trace.New(n).
+func NewWorld(cfg hw.Config) (*World, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		M:        m,
+		Tunables: DefaultTunables(),
+		ops:      make(map[opKey]*opEntry),
+	}
+	ppn := cfg.Mode.ProcsPerNode()
+	w.ranks = make([]*Rank, cfg.Ranks())
+	for id := range w.ranks {
+		nodeID := id / ppn
+		lrank := id % ppn
+		node := m.Node(nodeID)
+		w.ranks[id] = &Rank{
+			w:      w,
+			id:     id,
+			nodeID: nodeID,
+			lrank:  lrank,
+			node:   node,
+			cnk:    cnk.NewProcess(node.HW, lrank),
+			inbox:  newMailbox(),
+		}
+	}
+	return w, nil
+}
+
+// Size returns the rank count.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank id's handle (for inspection; rank code receives its own
+// handle through Run).
+func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// Run executes fn on every rank as a simulated process and drives the
+// simulation until all ranks return. It returns the virtual time consumed.
+func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.M.K.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			fn(r)
+		})
+	}
+	err := w.M.K.Run()
+	return w.M.K.Now(), err
+}
+
+// opKey identifies one collective operation instance at one coordination
+// scope: a node (intra-node shared state) or the whole job (scope -1).
+type opKey struct {
+	scope int
+	seq   int64
+	kind  string
+}
+
+type opEntry struct {
+	val  any
+	refs int
+}
+
+const worldScope = -1
+
+// shared returns the operation state for (scope, seq), creating it with
+// create on first access. parties is the number of ranks that will acquire
+// it; when all have released it, the entry is reclaimed.
+func (w *World) shared(scope int, seq int64, kind string, parties int, create func() any) any {
+	key := opKey{scope: scope, seq: seq, kind: kind}
+	e, ok := w.ops[key]
+	if !ok {
+		e = &opEntry{val: create(), refs: parties}
+		w.ops[key] = e
+	}
+	return e.val
+}
+
+// release drops one rank's reference to the operation state.
+func (w *World) release(scope int, seq int64, kind string) {
+	key := opKey{scope: scope, seq: seq, kind: kind}
+	e, ok := w.ops[key]
+	if !ok {
+		panic(fmt.Sprintf("mpi: release of unknown op %+v", key))
+	}
+	e.refs--
+	if e.refs == 0 {
+		delete(w.ops, key)
+	}
+}

@@ -1,0 +1,132 @@
+package shm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// BcastFIFO is the concurrent broadcast FIFO of §IV-B and Fig. 1. A producer
+// reserves a slot with an atomic fetch-and-increment of the tail and copies
+// its data (plus metadata) into the slot; every one of the nReaders consumer
+// processes must read the item before the slot is reclaimed. An atomic
+// per-slot counter initialized to nReaders counts the readers down; the last
+// arriving reader completes the dequeue by advancing the head.
+//
+// Unlike PtPFIFO, the Bcast FIFO stages data through its own slot storage:
+// Enqueue copies in, ReadInto copies out, mirroring the shared-memory
+// staging-buffer design the paper describes.
+type BcastFIFO struct {
+	size      uint64
+	slotBytes int
+	nReaders  int32
+
+	head atomic.Uint64 // count of fully consumed items
+	tail atomic.Uint64 // count of reserved slots
+
+	slots []bslot
+}
+
+type bslot struct {
+	seq       atomic.Uint64 // item+1 once published
+	remaining atomic.Int32  // readers still to consume this item
+	length    int
+	conn      int
+	data      []byte
+	_         [64]byte // avoid false sharing between adjacent slots
+}
+
+// NewBcastFIFO creates a FIFO with the given slot count, per-slot payload
+// capacity, and fixed reader count.
+func NewBcastFIFO(slots, slotBytes, nReaders int) *BcastFIFO {
+	if slots < 1 || slotBytes < 1 || nReaders < 1 {
+		panic("shm: invalid BcastFIFO geometry")
+	}
+	f := &BcastFIFO{
+		size:      uint64(slots),
+		slotBytes: slotBytes,
+		nReaders:  int32(nReaders),
+		slots:     make([]bslot, slots),
+	}
+	for i := range f.slots {
+		f.slots[i].data = make([]byte, slotBytes)
+	}
+	return f
+}
+
+// SlotBytes returns the per-slot payload capacity. Larger messages must be
+// packetized by the caller, as the broadcast algorithms do.
+func (f *BcastFIFO) SlotBytes() int { return f.slotBytes }
+
+// Cap returns the slot count.
+func (f *BcastFIFO) Cap() int { return int(f.size) }
+
+// Readers returns the fixed consumer count.
+func (f *BcastFIFO) Readers() int { return int(f.nReaders) }
+
+// Enqueue reserves the next slot (waiting while the FIFO is full), copies
+// data and the connection id into it, arms the reader countdown, and
+// publishes. It returns the item's global index. data must fit in one slot.
+func (f *BcastFIFO) Enqueue(data []byte, connection int) uint64 {
+	if len(data) > f.slotBytes {
+		panic(fmt.Sprintf("shm: %d-byte enqueue exceeds %d-byte slot", len(data), f.slotBytes))
+	}
+	item := f.tail.Add(1) - 1
+	// Space check: proceed only once (item - head) < fifoSize, i.e. the
+	// slot's previous occupant has been read by everyone.
+	for item-f.head.Load() >= f.size {
+		runtime.Gosched()
+	}
+	s := &f.slots[item%f.size]
+	copy(s.data, data)
+	s.length = len(data)
+	s.conn = connection
+	s.remaining.Store(f.nReaders)
+	s.seq.Store(item + 1) // write completion: publish to readers
+	return item
+}
+
+// Reader is one consumer's cursor. Every reader sees every item exactly
+// once, in enqueue order. Create exactly Readers() readers.
+type Reader struct {
+	f    *BcastFIFO
+	next uint64
+}
+
+// NewReader returns a cursor starting at the oldest unconsumed item.
+func (f *BcastFIFO) NewReader() *Reader { return &Reader{f: f} }
+
+// TryReadInto copies the next item's payload into dst if it is available,
+// returning the payload length, connection id, and true. It returns false
+// when the producer has not yet published the reader's next item.
+func (r *Reader) TryReadInto(dst []byte) (n, connection int, ok bool) {
+	s := &r.f.slots[r.next%r.f.size]
+	if s.seq.Load() != r.next+1 {
+		return 0, 0, false
+	}
+	n = copy(dst, s.data[:s.length])
+	connection = s.conn
+	// Count this reader's consumption; the last arriving reader removes
+	// the message from the FIFO by advancing the head.
+	if s.remaining.Add(-1) == 0 {
+		r.f.head.Add(1)
+	}
+	r.next++
+	return n, connection, true
+}
+
+// ReadInto blocks (spinning) until the next item is available and copies it
+// into dst.
+func (r *Reader) ReadInto(dst []byte) (n, connection int) {
+	for {
+		if n, conn, ok := r.TryReadInto(dst); ok {
+			return n, conn
+		}
+		runtime.Gosched()
+	}
+}
+
+func (f *BcastFIFO) String() string {
+	return fmt.Sprintf("BcastFIFO{cap=%d slot=%dB readers=%d head=%d tail=%d}",
+		f.size, f.slotBytes, f.nReaders, f.head.Load(), f.tail.Load())
+}

@@ -1,0 +1,62 @@
+package shm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// MsgCounter is the software message counter of §IV-C: the master process
+// publishes the cumulative number of bytes that have arrived in its buffer
+// (mirroring the DMA's hardware byte counters), and peer processes wait for
+// thresholds before copying the newly arrived range directly out of the
+// master's buffer.
+type MsgCounter struct {
+	bytes atomic.Int64
+}
+
+// Publish adds n newly arrived bytes to the counter.
+func (c *MsgCounter) Publish(n int) {
+	if n < 0 {
+		panic("shm: negative publish")
+	}
+	c.bytes.Add(int64(n))
+}
+
+// Loaded returns the current cumulative byte count.
+func (c *MsgCounter) Loaded() int64 { return c.bytes.Load() }
+
+// Wait spins until at least min bytes have been published, returning the
+// observed count (which may exceed min: the consumer then copies everything
+// available, the paper's pipelining behaviour).
+func (c *MsgCounter) Wait(min int64) int64 {
+	for {
+		if v := c.bytes.Load(); v >= min {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// Reset rearms the counter for the next operation. The caller must ensure no
+// peer is still waiting (use a Completion).
+func (c *MsgCounter) Reset() { c.bytes.Store(0) }
+
+// Completion is the atomic completion counter the master initializes to zero
+// and each peer increments after it has finished copying; once it reaches
+// n-1 the master may reuse its buffer.
+type Completion struct {
+	done atomic.Int32
+}
+
+// Signal records that one peer finished.
+func (c *Completion) Signal() { c.done.Add(1) }
+
+// Wait spins until n peers have signalled.
+func (c *Completion) Wait(n int) {
+	for c.done.Load() < int32(n) {
+		runtime.Gosched()
+	}
+}
+
+// Reset rearms the completion for the next operation.
+func (c *Completion) Reset() { c.done.Store(0) }

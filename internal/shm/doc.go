@@ -1,0 +1,21 @@
+// Package shm implements the paper's intra-node shared-memory communication
+// structures (§IV) as real concurrent data structures built only on atomic
+// fetch-and-increment (Go's atomic Add), exactly as the paper proposes for
+// "any platform supporting a basic atomic fetch and increment operation":
+//
+//   - PtPFIFO: a bounded multi-producer FIFO where each enqueued item is
+//     dequeued by exactly one consumer (§IV-A).
+//   - BcastFIFO: a bounded FIFO where every enqueued item must be read by
+//     all n-1 peer processes before its slot is reclaimed; the per-slot
+//     reader countdown and head advance follow Fig. 1 (§IV-B).
+//   - MsgCounter: the software message counter used for direct-copy
+//     pipelining (§IV-C): a producer publishes cumulative byte counts,
+//     consumers wait for thresholds.
+//   - Completion: the atomic completion counter the master polls to learn
+//     all peers finished copying out of its buffer.
+//
+// These types are used with real goroutines (race-tested; see the lockfree
+// example). The simulator re-expresses the same protocols against virtual
+// time in the collective algorithms, charging the costs of the operations
+// these structures perform.
+package shm

@@ -1,0 +1,122 @@
+package shm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Message is one Bcast/PtP FIFO slot payload: the data bytes plus the
+// metadata the paper stores alongside them (byte count and the connection id
+// of the global flow, so several broadcast streams can be multiplexed into
+// one FIFO).
+type Message struct {
+	Data       []byte
+	Connection int
+}
+
+// PtPFIFO is the point-to-point FIFO of §IV-A: a bounded queue where
+// producers reserve unique slots by atomically incrementing the tail, and
+// each item is consumed by exactly one process, in enqueue order. Both
+// enqueue and dequeue sides may have multiple concurrent processes.
+type PtPFIFO struct {
+	size uint64
+	head atomic.Uint64 // count of dequeued items
+	tail atomic.Uint64 // count of reserved slots
+
+	slots []ptpSlot
+}
+
+type ptpSlot struct {
+	// seq is the slot's publication sequence: slot i in epoch e (item
+	// index i = e*size + idx) is ready for readers when seq == i+1, and
+	// free for the next producer epoch when seq == i+size (set by the
+	// consumer after reading).
+	seq atomic.Uint64
+	msg Message
+	// pad the slot to its own cache line group to avoid false sharing.
+	_ [104]byte
+}
+
+// NewPtPFIFO creates a FIFO with the given slot count.
+func NewPtPFIFO(slots int) *PtPFIFO {
+	if slots < 1 {
+		panic("shm: FIFO needs at least one slot")
+	}
+	f := &PtPFIFO{size: uint64(slots), slots: make([]ptpSlot, slots)}
+	for i := range f.slots {
+		// Slot i is initially free for item i: mark with seq == i,
+		// meaning "writable by the producer of item i".
+		f.slots[i].seq.Store(uint64(i))
+	}
+	return f
+}
+
+// Enqueue reserves the next slot, waiting while the FIFO is full, and
+// publishes msg. It returns the item's global index.
+func (f *PtPFIFO) Enqueue(msg Message) uint64 {
+	item := f.tail.Add(1) - 1 // fetch-and-increment reserves a unique slot
+	s := &f.slots[item%f.size]
+	// Wait for the slot's previous occupant to be consumed: the space
+	// check (myslot - head < fifoSize) of the paper, expressed through the
+	// slot's sequence so the producer also orders with the consumer's
+	// reads.
+	for s.seq.Load() != item {
+		runtime.Gosched()
+	}
+	s.msg = msg
+	s.seq.Store(item + 1) // write-completion step: publish
+	return item
+}
+
+// TryDequeue removes the oldest item if one is ready. It returns the message
+// and true, or a zero Message and false when the FIFO is momentarily empty.
+func (f *PtPFIFO) TryDequeue() (Message, bool) {
+	for {
+		h := f.head.Load()
+		s := &f.slots[h%f.size]
+		if s.seq.Load() != h+1 {
+			return Message{}, false // head item not published yet
+		}
+		// Claim item h. CompareAndSwap keeps exactly-once consumption
+		// among concurrent consumers.
+		if !f.head.CompareAndSwap(h, h+1) {
+			continue
+		}
+		msg := s.msg
+		s.msg = Message{}
+		s.seq.Store(h + f.size) // free the slot for epoch h+size
+		return msg, true
+	}
+}
+
+// Dequeue removes the oldest item, spinning while the FIFO is empty.
+func (f *PtPFIFO) Dequeue() Message {
+	for {
+		if msg, ok := f.TryDequeue(); ok {
+			return msg
+		}
+		runtime.Gosched()
+	}
+}
+
+// Len returns the number of published-but-unconsumed items (approximate
+// under concurrency).
+func (f *PtPFIFO) Len() int {
+	t, h := f.tail.Load(), f.head.Load()
+	if t < h {
+		return 0
+	}
+	n := t - h
+	if n > f.size {
+		n = f.size
+	}
+	return int(n)
+}
+
+// Cap returns the slot count.
+func (f *PtPFIFO) Cap() int { return int(f.size) }
+
+func (f *PtPFIFO) String() string {
+	return fmt.Sprintf("PtPFIFO{cap=%d head=%d tail=%d}", f.size, f.head.Load(), f.tail.Load())
+}

@@ -1,0 +1,333 @@
+package shm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtPSingleThreadOrder(t *testing.T) {
+	f := NewPtPFIFO(4)
+	for i := 0; i < 10; i++ {
+		f.Enqueue(Message{Connection: i})
+		got := f.Dequeue()
+		if got.Connection != i {
+			t.Fatalf("item %d dequeued as %d", i, got.Connection)
+		}
+	}
+}
+
+func TestPtPFillThenDrain(t *testing.T) {
+	f := NewPtPFIFO(8)
+	for i := 0; i < 8; i++ {
+		f.Enqueue(Message{Connection: i})
+	}
+	if f.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", f.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if got := f.Dequeue(); got.Connection != i {
+			t.Fatalf("drain order broken at %d: %d", i, got.Connection)
+		}
+	}
+	if _, ok := f.TryDequeue(); ok {
+		t.Fatal("empty FIFO dequeued")
+	}
+}
+
+func TestPtPTryDequeueEmpty(t *testing.T) {
+	f := NewPtPFIFO(2)
+	if _, ok := f.TryDequeue(); ok {
+		t.Fatal("dequeue from fresh FIFO succeeded")
+	}
+}
+
+func TestPtPWrapAround(t *testing.T) {
+	f := NewPtPFIFO(2)
+	for i := 0; i < 100; i++ {
+		f.Enqueue(Message{Connection: i})
+		if got := f.Dequeue(); got.Connection != i {
+			t.Fatalf("wrap-around broke at %d", i)
+		}
+	}
+}
+
+func TestPtPBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-slot FIFO accepted")
+		}
+	}()
+	NewPtPFIFO(0)
+}
+
+// TestPtPConcurrentMPMC drives multiple producers and consumers with real
+// goroutines: every enqueued item must be dequeued exactly once.
+func TestPtPConcurrentMPMC(t *testing.T) {
+	const producers, consumers, perProducer = 3, 3, 400
+	f := NewPtPFIFO(16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				f.Enqueue(Message{Connection: p*perProducer + i})
+			}
+		}(p)
+	}
+	results := make(chan int, producers*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				msg, ok := f.TryDequeue()
+				if !ok {
+					select {
+					case <-done(&wg):
+						if msg, ok = f.TryDequeue(); !ok {
+							return
+						}
+					default:
+						continue
+					}
+				}
+				results <- msg.Connection
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	close(results)
+	seen := make(map[int]bool)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("item %d consumed twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d of %d items", len(seen), producers*perProducer)
+	}
+}
+
+// done adapts a WaitGroup to a closable channel for select.
+func done(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	return ch
+}
+
+func TestBcastFIFOSingleThread(t *testing.T) {
+	f := NewBcastFIFO(4, 16, 3)
+	readers := []*Reader{f.NewReader(), f.NewReader(), f.NewReader()}
+	payload := []byte("hello")
+	f.Enqueue(payload, 7)
+	for i, r := range readers {
+		dst := make([]byte, 16)
+		n, conn, ok := r.TryReadInto(dst)
+		if !ok {
+			t.Fatalf("reader %d saw no item", i)
+		}
+		if n != len(payload) || conn != 7 || !bytes.Equal(dst[:n], payload) {
+			t.Fatalf("reader %d got %q conn %d", i, dst[:n], conn)
+		}
+	}
+	// All readers consumed: slot reclaimed, head advanced.
+	if f.head.Load() != 1 {
+		t.Fatalf("head = %d after full consumption", f.head.Load())
+	}
+}
+
+func TestBcastFIFOSlotNotReclaimedEarly(t *testing.T) {
+	f := NewBcastFIFO(2, 8, 2)
+	r0, r1 := f.NewReader(), f.NewReader()
+	f.Enqueue([]byte{1}, 0)
+	dst := make([]byte, 8)
+	r0.TryReadInto(dst)
+	if f.head.Load() != 0 {
+		t.Fatal("slot reclaimed before all readers consumed")
+	}
+	r1.TryReadInto(dst)
+	if f.head.Load() != 1 {
+		t.Fatal("slot not reclaimed after all readers consumed")
+	}
+}
+
+func TestBcastFIFOReaderSeesNothingBeforePublish(t *testing.T) {
+	f := NewBcastFIFO(2, 8, 1)
+	r := f.NewReader()
+	if _, _, ok := r.TryReadInto(make([]byte, 8)); ok {
+		t.Fatal("read from empty FIFO")
+	}
+}
+
+func TestBcastFIFOOversizePanics(t *testing.T) {
+	f := NewBcastFIFO(2, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize enqueue accepted")
+		}
+	}()
+	f.Enqueue(make([]byte, 5), 0)
+}
+
+func TestBcastFIFOMetadataMultiplexing(t *testing.T) {
+	// Streams from multiple connections multiplex through one FIFO and are
+	// distinguished by the connection id metadata (§V-A).
+	f := NewBcastFIFO(8, 8, 1)
+	r := f.NewReader()
+	for conn := 0; conn < 6; conn++ {
+		f.Enqueue([]byte{byte(conn)}, conn)
+	}
+	for conn := 0; conn < 6; conn++ {
+		dst := make([]byte, 8)
+		n, got, _ := r.TryReadInto(dst)
+		if got != conn || n != 1 || dst[0] != byte(conn) {
+			t.Fatalf("conn %d read as %d (%v)", conn, got, dst[:n])
+		}
+	}
+}
+
+// TestBcastFIFOConcurrent runs a producer and three consumers over a small
+// FIFO, forcing wrap-around and slot-reuse races.
+func TestBcastFIFOConcurrent(t *testing.T) {
+	const items = 1200
+	const nReaders = 3
+	f := NewBcastFIFO(4, 8, nReaders)
+	var wg sync.WaitGroup
+	for rr := 0; rr < nReaders; rr++ {
+		r := f.NewReader()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			dst := make([]byte, 8)
+			for i := 0; i < items; i++ {
+				n, conn := r.ReadInto(dst)
+				if n != 4 {
+					t.Errorf("reader %d item %d: n=%d", id, i, n)
+					return
+				}
+				want := byte(i % 251)
+				if dst[0] != want || conn != i {
+					t.Errorf("reader %d item %d: got data %d conn %d", id, i, dst[0], conn)
+					return
+				}
+			}
+		}(rr)
+	}
+	for i := 0; i < items; i++ {
+		b := byte(i % 251)
+		f.Enqueue([]byte{b, b, b, b}, i)
+	}
+	wg.Wait()
+}
+
+func TestBcastFIFOOrderProperty(t *testing.T) {
+	// Property: for any payload sequence, a reader observes exactly the
+	// enqueue sequence.
+	f := func(payloads [][]byte) bool {
+		fifo := NewBcastFIFO(4, 32, 1)
+		r := fifo.NewReader()
+		for i, p := range payloads {
+			if len(p) > 32 {
+				p = p[:32]
+			}
+			fifo.Enqueue(p, i)
+			dst := make([]byte, 32)
+			n, conn, ok := r.TryReadInto(dst)
+			if !ok || conn != i || !bytes.Equal(dst[:n], p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgCounterPublishWait(t *testing.T) {
+	var c MsgCounter
+	c.Publish(100)
+	if got := c.Wait(50); got != 100 {
+		t.Fatalf("Wait returned %d", got)
+	}
+	c.Publish(28)
+	if c.Loaded() != 128 {
+		t.Fatalf("Loaded = %d", c.Loaded())
+	}
+	c.Reset()
+	if c.Loaded() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMsgCounterNegativePanics(t *testing.T) {
+	var c MsgCounter
+	defer func() {
+		if recover() == nil {
+			t.Error("negative publish accepted")
+		}
+	}()
+	c.Publish(-1)
+}
+
+func TestMsgCounterConcurrentPipeline(t *testing.T) {
+	// A producer publishes chunks; consumers wait on increasing
+	// thresholds. Every consumer must observe monotonically increasing
+	// counts that cover the whole message.
+	const total, chunk = 1 << 16, 1 << 10
+	var c MsgCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var seen int64
+			for seen < total {
+				got := c.Wait(seen + 1)
+				if got <= seen {
+					t.Error("counter went backwards")
+					return
+				}
+				seen = got
+			}
+		}()
+	}
+	for off := 0; off < total; off += chunk {
+		c.Publish(chunk)
+	}
+	wg.Wait()
+	if c.Loaded() != total {
+		t.Fatalf("final count %d", c.Loaded())
+	}
+}
+
+func TestCompletion(t *testing.T) {
+	var c Completion
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Signal() }()
+	}
+	c.Wait(3)
+	wg.Wait()
+	c.Reset()
+	c.Signal()
+	c.Wait(1)
+}
+
+func TestStringers(t *testing.T) {
+	p := NewPtPFIFO(2)
+	b := NewBcastFIFO(2, 8, 3)
+	for _, s := range []fmt.Stringer{p, b} {
+		if s.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "sort"
+
+// Counter is a watchable monotonically increasing value in virtual time. It
+// models both the DMA engine's hardware byte counters and the paper's
+// software message counters: a producer adds received byte counts, consumers
+// wait until the count reaches a threshold.
+type Counter struct {
+	k       *Kernel
+	name    string
+	v       int64
+	waiters []counterWait // kept sorted by threshold
+}
+
+type counterWait struct {
+	threshold int64
+	fn        func()
+}
+
+// NewCounter returns a counter starting at zero.
+func (k *Kernel) NewCounter(name string) *Counter {
+	return &Counter{k: k, name: name}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increases the counter by n (n must be non-negative; the structures the
+// counter models only count up) and releases any waiters whose threshold is
+// now reached.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("sim: counter " + c.name + " decremented")
+	}
+	c.v += n
+	c.release()
+}
+
+// Reset sets the counter back to zero for reuse by a subsequent operation.
+// Resetting with waiters outstanding panics: the waiters' thresholds would
+// silently refer to the previous epoch.
+func (c *Counter) Reset() {
+	if len(c.waiters) > 0 {
+		panic("sim: counter " + c.name + " reset with waiters")
+	}
+	c.v = 0
+}
+
+func (c *Counter) wait(threshold int64, fn func()) {
+	i := sort.Search(len(c.waiters), func(i int) bool {
+		return c.waiters[i].threshold > threshold
+	})
+	c.waiters = append(c.waiters, counterWait{})
+	copy(c.waiters[i+1:], c.waiters[i:])
+	c.waiters[i] = counterWait{threshold: threshold, fn: fn}
+}
+
+func (c *Counter) release() {
+	n := 0
+	for n < len(c.waiters) && c.waiters[n].threshold <= c.v {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	ready := c.waiters[:n]
+	c.waiters = c.waiters[n:]
+	for _, w := range ready {
+		c.k.At(c.k.now, w.fn)
+	}
+}
+
+// OnGE schedules fn once the counter reaches at least v. If it already has,
+// fn is scheduled at the current time.
+func (c *Counter) OnGE(v int64, fn func()) {
+	if c.v >= v {
+		c.k.At(c.k.now, fn)
+		return
+	}
+	c.wait(v, fn)
+}

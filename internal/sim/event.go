@@ -1,0 +1,44 @@
+package sim
+
+// Event is a one-shot occurrence in virtual time. Processes block on it with
+// Proc.Wait; callbacks subscribe with OnFire. Firing an event releases all
+// current and future waiters. Events are not reusable; allocate a new one per
+// occurrence.
+type Event struct {
+	k       *Kernel
+	name    string
+	fired   bool
+	waiters []func()
+}
+
+// NewEvent returns an unfired event. The name appears in deadlock reports.
+func (k *Kernel) NewEvent(name string) *Event {
+	return &Event{k: k, name: name}
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire marks the event fired and schedules all waiters at the current virtual
+// time. Firing twice panics: it always indicates a protocol bug.
+func (e *Event) Fire() {
+	if e.fired {
+		panic("sim: event " + e.name + " fired twice")
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		w := w
+		e.k.At(e.k.now, w)
+	}
+	e.waiters = nil
+}
+
+// OnFire registers fn to run when the event fires. If the event has already
+// fired, fn is scheduled at the current time.
+func (e *Event) OnFire(fn func()) {
+	if e.fired {
+		e.k.At(e.k.now, fn)
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kernel is a deterministic discrete-event scheduler. The zero value is not
+// usable; create kernels with New.
+type Kernel struct {
+	now     Time
+	seq     int64
+	queue   eventHeap
+	running bool
+
+	// liveProcs counts spawned processes that have not finished. blocked
+	// counts processes currently waiting on an Event or Counter threshold
+	// (not a timed sleep). If the event queue drains while blocked > 0 the
+	// simulation is deadlocked.
+	liveProcs int
+	blocked   map[*Proc]string
+
+	failure error
+}
+
+// New returns a kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{blocked: make(map[*Proc]string)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a broken cost model rather than a recoverable state.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, scheduled{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Run executes events until the queue drains or a process fails. It returns
+// an error if a process panicked or if processes remain blocked with no
+// pending events (virtual deadlock).
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(scheduled)
+		k.now = ev.t
+		ev.fn()
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+	if len(k.blocked) > 0 {
+		return k.deadlockError()
+	}
+	return nil
+}
+
+func (k *Kernel) deadlockError() error {
+	msg := "sim: deadlock, blocked processes:"
+	for p, what := range k.blocked {
+		msg += fmt.Sprintf(" %s(%s)", p.name, what)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// fail records a fatal simulation error (process panic).
+func (k *Kernel) fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+}
+
+type scheduled struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduled)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

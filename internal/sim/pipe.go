@@ -1,0 +1,80 @@
+package sim
+
+// Pipe models a serialized bandwidth resource: a torus link, the DMA engine,
+// the collective tree channel, or a memory bus. Transfers occupy the pipe
+// back to back in reservation order, so concurrent users automatically share
+// the bandwidth and queueing delay emerges from contention.
+//
+// A reservation of n bytes made at time t completes at
+//
+//	start = max(t, free) ; done = start + n/bandwidth + latency
+//
+// and the pipe becomes free for the next reservation at start + n/bandwidth:
+// the fixed latency models wire/forwarding delay that does not occupy the
+// channel.
+type Pipe struct {
+	k    *Kernel
+	name string
+	ppb  float64 // picoseconds per byte
+	lat  Time
+
+	free Time
+
+	// Statistics for utilization reporting.
+	totalBytes int64
+	busy       Time
+	transfers  int64
+}
+
+// NewPipe creates a pipe with the given bandwidth in bytes/second and fixed
+// per-transfer latency.
+func (k *Kernel) NewPipe(name string, bytesPerSecond float64, latency Time) *Pipe {
+	if bytesPerSecond <= 0 {
+		panic("sim: pipe " + name + " with non-positive bandwidth")
+	}
+	return &Pipe{k: k, name: name, ppb: float64(Second) / bytesPerSecond, lat: latency}
+}
+
+// Name returns the pipe's name.
+func (p *Pipe) Name() string { return p.name }
+
+// Reserve occupies the pipe for n bytes starting no earlier than now and
+// returns the completion time (including latency).
+func (p *Pipe) Reserve(n int) Time { return p.ReserveFrom(p.k.now, n) }
+
+// ReserveFrom occupies the pipe for n bytes starting no earlier than t
+// (clamped to now) and returns the completion time. It is used to chain
+// cut-through transfers across consecutive links, where the data cannot enter
+// link i+1 before it left link i.
+func (p *Pipe) ReserveFrom(t Time, n int) Time {
+	_, done := p.ReserveAt(t, n)
+	return done
+}
+
+// ReserveAt is ReserveFrom returning both the transfer's start time and its
+// completion time (including latency). Cut-through chains use the start time
+// of hop i to lower-bound the start of hop i+1 by one hop latency.
+func (p *Pipe) ReserveAt(t Time, n int) (start, done Time) {
+	if n < 0 {
+		panic("sim: pipe " + p.name + " negative transfer")
+	}
+	start = maxTime(maxTime(t, p.k.now), p.free)
+	cost := Time(float64(n) * p.ppb)
+	p.free = start + cost
+	p.totalBytes += int64(n)
+	p.busy += cost
+	p.transfers++
+	return start, p.free + p.lat
+}
+
+// NextFree returns the earliest time a new reservation could start.
+func (p *Pipe) NextFree() Time { return maxTime(p.free, p.k.now) }
+
+// Latency returns the pipe's fixed per-transfer latency.
+func (p *Pipe) Latency() Time { return p.lat }
+
+// Stats reports cumulative bytes moved, busy time and transfer count since
+// creation.
+func (p *Pipe) Stats() (bytes int64, busy Time, transfers int64) {
+	return p.totalBytes, p.busy, p.transfers
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process: a goroutine-backed coroutine scheduled by the
+// kernel. Exactly one process body executes at a time, so process code may
+// freely touch shared simulation state without locking. A process consumes
+// virtual time only through Sleep, Wait, WaitGE, and Transfer.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{} // kernel -> proc: run
+	parked chan struct{} // proc -> kernel: yielded or finished
+}
+
+// Spawn creates a process running fn and schedules its first execution at the
+// current virtual time. fn runs to completion unless it panics, which aborts
+// the whole simulation with an error from Kernel.Run.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	k.liveProcs++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				k.fail(fmt.Errorf("sim: process %s panicked: %v\n%s", name, r, debug.Stack()))
+			}
+			k.liveProcs--
+			p.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.At(k.now, p.run)
+	return p
+}
+
+// run hands the virtual CPU to the process and blocks until it yields.
+// It is always invoked from the kernel's event loop.
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// yield returns control to the kernel event loop and blocks the goroutine
+// until the next p.run.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep advances the process by d of virtual time. Negative durations are
+// treated as zero.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.At(p.k.now+d, p.run)
+	p.yield()
+}
+
+// SleepUntil blocks the process until absolute virtual time t. Times in the
+// past return immediately.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.At(t, p.run)
+	p.yield()
+}
+
+// Wait blocks the process until ev fires. If ev has already fired it returns
+// immediately without consuming virtual time.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	p.k.blocked[p] = "event:" + ev.name
+	ev.waiters = append(ev.waiters, func() {
+		delete(p.k.blocked, p)
+		p.run()
+	})
+	p.yield()
+}
+
+// WaitGE blocks the process until c reaches at least v.
+func (p *Proc) WaitGE(c *Counter, v int64) {
+	if c.v >= v {
+		return
+	}
+	p.k.blocked[p] = fmt.Sprintf("counter:%s>=%d", c.name, v)
+	c.wait(v, func() {
+		delete(p.k.blocked, p)
+		p.run()
+	})
+	p.yield()
+}
+
+// Transfer reserves n bytes on pipe and sleeps until the transfer (including
+// the pipe's latency) completes. It returns the completion time.
+func (p *Proc) Transfer(pipe *Pipe, n int) Time {
+	done := pipe.Reserve(n)
+	p.SleepUntil(done)
+	return done
+}

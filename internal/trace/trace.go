@@ -1,0 +1,154 @@
+// Package trace records simulation events for post-mortem inspection: what
+// the network schedules, DMA engines, and rank protocols did, and when, in
+// virtual time. Tracing is off by default (a nil *Log records nothing at
+// zero cost) and bounded: the log keeps the first events up to its capacity
+// and counts the rest, so a multi-megabyte broadcast cannot exhaust memory.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"bgpcoll/internal/sim"
+)
+
+// Category classifies an event source.
+type Category uint8
+
+// Event categories.
+const (
+	Net   Category = iota // torus line broadcasts, unicasts, tree combines
+	DMA                   // engine injections, receptions, local puts
+	Copy                  // core-driven copies and reductions
+	Sync                  // counters, barriers, completion signalling
+	Proto                 // protocol decisions (pump, forward, chain hops)
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Net:
+		return "net"
+	case DMA:
+		return "dma"
+	case Copy:
+		return "copy"
+	case Sync:
+		return "sync"
+	case Proto:
+		return "proto"
+	}
+	return fmt.Sprintf("cat(%d)", uint8(c))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	T     sim.Time
+	Cat   Category
+	Node  int
+	Label string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-5s node %-4d %s", e.T, e.Cat, e.Node, e.Label)
+}
+
+// Log is a bounded event recorder. A nil *Log is valid and records nothing,
+// so call sites need no nil checks beyond the method call itself.
+type Log struct {
+	events  []Event
+	cap     int
+	dropped int64
+	counts  [numCategories]int64
+}
+
+// New creates a log retaining up to capacity events (further events are
+// counted but not stored).
+func New(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{cap: capacity}
+}
+
+// Enabled reports whether events will be recorded.
+func (l *Log) Enabled() bool { return l != nil }
+
+// Add records an event. Safe on a nil log.
+func (l *Log) Add(t sim.Time, cat Category, node int, label string) {
+	if l == nil {
+		return
+	}
+	l.counts[cat]++
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, Event{T: t, Cat: cat, Node: node, Label: label})
+}
+
+// Addf records a formatted event. Safe on a nil log; arguments are not
+// formatted when the log is nil or full beyond counting.
+func (l *Log) Addf(t sim.Time, cat Category, node int, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.counts[cat]++
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, Event{T: t, Cat: cat, Node: node, Label: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the retained events in record order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Count returns the total events seen in a category, including dropped ones.
+func (l *Log) Count(cat Category) int64 {
+	if l == nil {
+		return 0
+	}
+	return l.counts[cat]
+}
+
+// Dropped returns how many events exceeded the capacity.
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Dump writes up to max retained events plus a per-category summary.
+func (l *Log) Dump(w io.Writer, max int) {
+	if l == nil {
+		fmt.Fprintln(w, "trace: disabled")
+		return
+	}
+	n := len(l.events)
+	if max > 0 && max < n {
+		n = max
+	}
+	for _, e := range l.events[:n] {
+		fmt.Fprintln(w, e)
+	}
+	if len(l.events) > n {
+		fmt.Fprintf(w, "... %d more retained events\n", len(l.events)-n)
+	}
+	if l.dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped beyond capacity\n", l.dropped)
+	}
+	fmt.Fprintf(w, "totals:")
+	for c := Category(0); c < numCategories; c++ {
+		if l.counts[c] > 0 {
+			fmt.Fprintf(w, " %s=%d", c, l.counts[c])
+		}
+	}
+	fmt.Fprintln(w)
+}

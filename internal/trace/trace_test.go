@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bgpcoll/internal/sim"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, Net, 0, "x")
+	l.Addf(0, DMA, 1, "y %d", 2)
+	if l.Enabled() {
+		t.Error("nil log enabled")
+	}
+	if l.Count(Net) != 0 || l.Dropped() != 0 || l.Events() != nil {
+		t.Error("nil log not empty")
+	}
+	var sb strings.Builder
+	l.Dump(&sb, 10)
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Error("nil dump missing notice")
+	}
+}
+
+func TestRecordAndCount(t *testing.T) {
+	l := New(4)
+	l.Add(sim.Microsecond, Net, 3, "arrive")
+	l.Addf(2*sim.Microsecond, Copy, 1, "copy %d bytes", 64)
+	if got := len(l.Events()); got != 2 {
+		t.Fatalf("events = %d", got)
+	}
+	if l.Count(Net) != 1 || l.Count(Copy) != 1 || l.Count(DMA) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if l.Events()[1].Label != "copy 64 bytes" {
+		t.Fatalf("label = %q", l.Events()[1].Label)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 10; i++ {
+		l.Add(sim.Time(i), Sync, i, "e")
+	}
+	if len(l.Events()) != 3 {
+		t.Fatalf("retained %d", len(l.Events()))
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d", l.Dropped())
+	}
+	if l.Count(Sync) != 10 {
+		t.Fatalf("count = %d", l.Count(Sync))
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	l := New(10)
+	l.Add(sim.Microsecond, Proto, 7, "pump chunk")
+	l.Add(2*sim.Microsecond, Net, 8, "delivered")
+	var sb strings.Builder
+	l.Dump(&sb, 1)
+	out := sb.String()
+	for _, frag := range []string{"proto", "node 7", "pump chunk", "1 more retained", "totals:", "net=1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c, want := range map[Category]string{Net: "net", DMA: "dma", Copy: "copy", Sync: "sync", Proto: "proto"} {
+		if c.String() != want {
+			t.Errorf("%d -> %q", c, c.String())
+		}
+	}
+}
