@@ -1,0 +1,89 @@
+// Command bgplint runs the repository's determinism and lock-free-discipline
+// analyzers (internal/lint) over the given package patterns, in the style of
+// a go/analysis multichecker:
+//
+//	go run ./cmd/bgplint ./...          # the whole module (CI gate)
+//	go run ./cmd/bgplint ./internal/shm # one package
+//	go run ./cmd/bgplint -only maporder ./...
+//
+// Exit status: 0 when no findings, 1 when findings were reported, 2 on
+// load/type-check failure. Findings are suppressed per line with
+// //bgplint:allow <analyzer> annotations (see internal/lint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bgpcoll/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bgplint [-only names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var sel []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("bgplint: unknown analyzer %q", name)
+			}
+			sel = append(sel, a)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("bgplint: %v", err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatalf("bgplint: %v", err)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fatalf("bgplint: %v", err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fatalf("bgplint: %v", err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "bgplint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

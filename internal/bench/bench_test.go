@@ -61,10 +61,13 @@ func TestBandwidthMBs(t *testing.T) {
 }
 
 func TestSizeLabel(t *testing.T) {
-	cases := map[int]string{8: "8", 1 << 10: "1K", 128 << 10: "128K", 2 << 20: "2M", 1500: "1500"}
-	for n, want := range cases {
-		if got := SizeLabel(n); got != want {
-			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+	cases := []struct {
+		n    int
+		want string
+	}{{8, "8"}, {1 << 10, "1K"}, {128 << 10, "128K"}, {2 << 20, "2M"}, {1500, "1500"}}
+	for _, c := range cases {
+		if got := SizeLabel(c.n); got != c.want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", c.n, got, c.want)
 		}
 	}
 }

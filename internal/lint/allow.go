@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowMarker is the prefix of a suppression annotation:
+//
+//	//bgplint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// The annotation suppresses matching diagnostics on its own line (trailing
+// comment) and on the line immediately below it (standalone comment above
+// the flagged statement).
+const allowMarker = "bgplint:allow"
+
+// suppress drops diagnostics covered by allow annotations in pkg's files.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// allowed[file][line] -> set of analyzer names (or "*" for all).
+	allowed := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowMarker)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := allowed[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					allowed[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = map[string]bool{}
+						byLine[line] = set
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		set := allowed[d.Position.Filename][d.Position.Line]
+		if set[d.Analyzer] || set["*"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicDiscipline enforces the paper's fetch-and-increment-only discipline
+// on the shared-memory structures in internal/shm (DESIGN.md §2, §7):
+//
+//   - no sync.Mutex / sync.RWMutex / Lock-Unlock calls — the FIFOs and
+//     counters are lock-free by construction, and a lock would serialize
+//     exactly the contention the paper's design removes;
+//   - no by-value copies of structs holding atomic state (a copy forks the
+//     counter and both halves silently diverge);
+//   - no plain reads or writes of fields that are accessed through the
+//     sync/atomic function API elsewhere (mixed access is a data race).
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "enforce fetch-and-increment-only atomics in internal/shm: no locks, no by-value copies of atomic-bearing structs, no mixed atomic/plain field access",
+	Applies: func(path string) bool {
+		return path == "bgpcoll/internal/shm"
+	},
+	Run: runAtomicDiscipline,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument addresses the shared word.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func runAtomicDiscipline(pass *Pass) error {
+	checkLocks(pass)
+	checkAtomicCopies(pass)
+	checkMixedAccess(pass)
+	return nil
+}
+
+// checkLocks flags sync mutex types and their Lock/Unlock call sites.
+func checkLocks(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				if t := pass.Info.Types[n.Type].Type; t != nil && mutexType(t) {
+					pass.Reportf(n.Pos(), "%s field in shm: the paper's structures are fetch-and-increment only, locks are forbidden", t)
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if t := pass.Info.Types[n.Type].Type; t != nil && mutexType(t) {
+						pass.Reportf(n.Pos(), "%s variable in shm: the paper's structures are fetch-and-increment only, locks are forbidden", t)
+					}
+				}
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.MethodVal {
+					return true
+				}
+				m := sel.Obj()
+				if m.Pkg() != nil && m.Pkg().Path() == "sync" {
+					switch m.Name() {
+					case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+						pass.Reportf(n.Sel.Pos(), "sync %s call in shm: the paper's structures are fetch-and-increment only, locks are forbidden", m.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexType reports whether t is (or points to, or embeds at the top level)
+// sync.Mutex or sync.RWMutex.
+func mutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsAtomic reports whether t transitively holds a sync/atomic type (or
+// a field-style atomic) by value.
+func containsAtomic(t types.Type) bool {
+	return containsAtomic1(t, map[types.Type]bool{})
+}
+
+func containsAtomic1(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic1(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkAtomicCopies flags by-value uses of structs that hold atomic state:
+// value parameters/results/receivers, assignments from existing values,
+// value-typed call arguments, and range value variables. Fresh composite
+// literals are initialization, not copies, and stay legal.
+func checkAtomicCopies(pass *Pass) {
+	atomicStruct := func(e ast.Expr) (types.Type, bool) {
+		var t types.Type
+		if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+			t = tv.Type
+		} else if id, ok := e.(*ast.Ident); ok {
+			// Range key/value idents are definitions, not expressions.
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				t = obj.Type()
+			}
+		}
+		if t == nil {
+			return nil, false
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return nil, false
+		}
+		if !containsAtomic(t) {
+			return nil, false
+		}
+		return t, true
+	}
+	isFresh := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.ParenExpr:
+			_, lit := e.X.(*ast.CompositeLit)
+			return lit
+		}
+		return false
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.Info.Types[f.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsAtomic(t) {
+				pass.Reportf(f.Type.Pos(), "%s %s copies atomic state by value; pass *%s", what, t, t)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "value receiver")
+				checkFieldList(n.Type.Params, "value parameter")
+				checkFieldList(n.Type.Results, "value result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "value parameter")
+				checkFieldList(n.Type.Results, "value result")
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if isFresh(rhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discarded, nothing diverges
+					}
+					if t, ok := atomicStruct(rhs); ok {
+						pass.Reportf(rhs.Pos(), "assignment copies %s by value; take a pointer instead", t)
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					if isFresh(arg) {
+						continue
+					}
+					if t, ok := atomicStruct(arg); ok {
+						pass.Reportf(arg.Pos(), "call passes %s by value; pass *%s", t, t)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if t, ok := atomicStruct(n.Value); ok {
+					pass.Reportf(n.Value.Pos(), "range value copies %s per element; range over indices and take &s[i]", t)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isFresh(res) {
+						continue
+					}
+					if t, ok := atomicStruct(res); ok {
+						pass.Reportf(res.Pos(), "return copies %s by value; return *%s", t, t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMixedAccess flags plain selector reads/writes of struct fields that
+// are elsewhere passed to the sync/atomic function API (&x.f in
+// atomic.AddInt64 etc.): every access to such a field must be atomic.
+func checkMixedAccess(pass *Pass) {
+	// Pass 1: find fields used through the atomic function API, and
+	// remember the selector nodes inside those calls so they are not
+	// re-flagged as plain accesses.
+	atomicFields := map[*types.Var]bool{}
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.ObjectOf(pkgID).(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			if !hasAtomicPrefix(fun.Sel.Name) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						atomicFields[v] = true
+						inAtomicCall[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: flag the same fields accessed outside the atomic API.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok || !atomicFields[v] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access to field %s, which is accessed atomically elsewhere; every access must go through sync/atomic", v.Name())
+			return true
+		})
+	}
+}
+
+func hasAtomicPrefix(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+// Package lint implements bgplint, a static-analysis suite that mechanically
+// enforces the two invariants the reproduction rests on: the discrete-event
+// simulator must be bit-for-bit deterministic, and the internal/shm
+// structures must keep the paper's fetch-and-increment-only atomic
+// discipline (DESIGN.md, "Determinism & concurrency rules").
+//
+// The package is a self-contained miniature of golang.org/x/tools/go/analysis
+// (which is unavailable here: the module has no external dependencies), built
+// on the standard library's go/ast and go/types. Each check is an *Analyzer
+// with the familiar Name/Doc/Run shape; cmd/bgplint is the multichecker
+// driver and analysistest_test.go runs the testdata fixtures.
+//
+// Diagnostics can be suppressed with an explicit annotation on the offending
+// line or the line directly above it:
+//
+//	//bgplint:allow <analyzer>[,<analyzer>...] [reason]
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one bgplint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow-comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Applies reports whether the analyzer runs over the package with the
+	// given import path. Analyzers outside their scope are silently skipped.
+	Applies func(pkgPath string) bool
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path the package is analyzed as
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full bgplint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SimDeterminism, RawGoroutine, MapOrder, AtomicDiscipline}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer whose Applies accepts pkg's path, filters
+// diagnostics through the //bgplint:allow annotations found in the package's
+// files, and returns the surviving findings sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// simDriven lists the packages whose code executes under the discrete-event
+// simulator: all timing must flow through sim.Time and all concurrency must
+// be a sim process, so wall-clock calls, raw goroutines, and map-iteration
+// order leaking into event scheduling are all determinism bugs there.
+var simDriven = map[string]bool{
+	"bgpcoll/internal/sim":     true,
+	"bgpcoll/internal/coll":    true,
+	"bgpcoll/internal/ccmi":    true,
+	"bgpcoll/internal/mpi":     true,
+	"bgpcoll/internal/torus":   true,
+	"bgpcoll/internal/dma":     true,
+	"bgpcoll/internal/tree":    true,
+	"bgpcoll/internal/cnk":     true,
+	"bgpcoll/internal/bench":   true,
+	"bgpcoll/internal/machine": true,
+}
+
+func isSimDriven(path string) bool { return simDriven[path] }

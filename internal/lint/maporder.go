@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in simulator-driven packages unless the
+// loop body is provably order-insensitive. Go randomizes map iteration
+// order, so any order that leaks into event scheduling, buffer contents, or
+// error text breaks the bit-for-bit determinism the benchmarks rely on.
+//
+// A body counts as order-insensitive when every statement is one of:
+//   - a write to a map (or blank), i.e. a commutative set/map build;
+//   - delete(m, k);
+//   - an integer accumulation (n++, total += v — float accumulation is NOT
+//     exempt: float addition is not associative, so iteration order changes
+//     the bits);
+//   - an assignment or ++/-- on a variable declared inside the loop body
+//     (per-iteration state cannot escape the iteration);
+//   - s = append(s, ...) where s is passed to a sort.* / slices.Sort* call
+//     later in the same function (the collect-keys-then-sort idiom);
+//   - an if/for/switch/block/continue composed only of the above.
+//
+// Everything else is flagged; genuinely order-free exceptions carry a
+// //bgplint:allow maporder annotation.
+var MapOrder = &Analyzer{
+	Name:    "maporder",
+	Doc:     "flag range over a map in simulator-driven packages unless the loop body is order-insensitive",
+	Applies: isSimDriven,
+	Run:     runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkMapRanges(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkMapRanges(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges examines the map-range statements directly inside one
+// function body (nested function literals are visited as their own bodies).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+			return true
+		}
+		c := &orderChecker{pass: pass, rng: rs}
+		if !c.stmtsOK(rs.Body.List) {
+			pass.Reportf(rs.Pos(),
+				"iteration over map %s has an order-sensitive body; iterate sorted keys instead (map order is randomized and breaks determinism)",
+				types.ExprString(rs.X))
+			return true
+		}
+		for _, ap := range c.appended {
+			if !sortedAfter(pass, body, rs, ap) {
+				pass.Reportf(rs.Pos(),
+					"map iteration order leaks into slice %q; sort it after the loop (or iterate sorted keys)", ap.Name())
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// orderChecker decides whether one map-range body is order-insensitive.
+type orderChecker struct {
+	pass *Pass
+	rng  *ast.RangeStmt
+	// appended collects slice variables grown with s = append(s, ...);
+	// the loop is only accepted if each is sorted later in the function.
+	appended []*types.Var
+}
+
+func (c *orderChecker) stmtsOK(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *orderChecker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		return c.loopLocal(s.X) || c.isInteger(s.X)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && c.isBuiltin(call, "delete")
+	case *ast.IfStmt:
+		return c.stmtOK(s.Init) && c.stmtsOK(s.Body.List) && c.stmtOK(s.Else)
+	case *ast.BlockStmt:
+		return c.stmtsOK(s.List)
+	case *ast.RangeStmt:
+		return c.stmtsOK(s.Body.List)
+	case *ast.ForStmt:
+		return c.stmtOK(s.Init) && c.stmtOK(s.Post) && c.stmtsOK(s.Body.List)
+	case *ast.SwitchStmt:
+		if !c.stmtOK(s.Init) {
+			return false
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); !ok || !c.stmtsOK(cc.Body) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !c.pureish(v) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		// break, return, send, call, defer, goto, ... : the loop's effect
+		// (or which iteration reaches the statement) depends on order.
+		return false
+	}
+}
+
+func (c *orderChecker) assignOK(s *ast.AssignStmt) bool {
+	// s = append(s, ...): defer the verdict to the sorted-later check.
+	if s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := s.Lhs[0].(*ast.Ident); ok {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && c.isBuiltin(call, "append") && len(call.Args) > 0 && c.pureish(s.Rhs[0]) {
+				if arg, ok := call.Args[0].(*ast.Ident); ok && arg.Name == id.Name {
+					if v, ok := c.pass.Info.ObjectOf(id).(*types.Var); ok {
+						if c.loopLocal(id) {
+							return true // per-iteration slice, any order fine
+						}
+						c.appended = append(c.appended, v)
+						return true
+					}
+				}
+			}
+		}
+	}
+	// Computing the assigned value must itself be side-effect free, or the
+	// calls in it could observe iteration order.
+	for _, rhs := range s.Rhs {
+		if !c.pureish(rhs) {
+			return false
+		}
+	}
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for _, lhs := range s.Lhs {
+			if !c.lhsOK(lhs, s.Tok) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Commutative-associative accumulation — for integers only: float
+		// addition is order-sensitive in the bits, string += builds
+		// order-dependent text.
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		return c.loopLocal(s.Lhs[0]) || c.isInteger(s.Lhs[0])
+	default:
+		return false
+	}
+}
+
+// lhsOK accepts assignment targets that cannot leak iteration order: blank,
+// writes into a map, or variables scoped to the loop body.
+func (c *orderChecker) lhsOK(lhs ast.Expr, tok token.Token) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		if tok == token.DEFINE {
+			return true // freshly declared inside the body
+		}
+		return c.loopLocal(lhs)
+	case *ast.IndexExpr:
+		tv, ok := c.pass.Info.Types[lhs.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isMap := tv.Type.Underlying().(*types.Map)
+		return isMap
+	default:
+		return false
+	}
+}
+
+// loopLocal reports whether expr is a variable declared inside the range
+// body (per-iteration state that cannot carry order between iterations).
+func (c *orderChecker) loopLocal(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.rng.Body.Pos() && obj.Pos() <= c.rng.Body.End()
+}
+
+func (c *orderChecker) isInteger(expr ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func (c *orderChecker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = c.pass.Info.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// pureish reports whether evaluating expr has no side effects: no function
+// calls except a few known-pure ones (builtins, conversions, and the
+// formatting helpers of fmt/strconv/strings/math).
+func (c *orderChecker) pureish(expr ast.Expr) bool {
+	pure := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch c.pass.Info.ObjectOf(id).(type) {
+			case *types.Builtin:
+				switch id.Name {
+				case "len", "cap", "min", "max", "append":
+					return true
+				}
+			case *types.TypeName:
+				return true // conversion
+			}
+		}
+		if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion through a non-ident type expr
+		}
+		if c.pureStdlibCall(call) {
+			return true
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// pureStdlibCall recognizes package-level calls into stdlib packages whose
+// exported functions are pure: formatting and math helpers commonly used
+// while building sorted-later slices (fmt.Sprintf in particular).
+func (c *orderChecker) pureStdlibCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := c.pass.Info.ObjectOf(pkgID).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "fmt":
+		switch sel.Sel.Name {
+		case "Sprint", "Sprintf", "Sprintln":
+			return true
+		}
+		return false
+	case "strconv", "strings", "math", "math/bits", "sort":
+		// sort.Search-style helpers and all of strconv/strings/math are
+		// side-effect free at package level. (sort.Slice etc. sort their
+		// argument, but sorting commutes with iteration order anyway.)
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether slice sl is passed to a sort.*/slices.Sort*
+// call somewhere after the range statement in the enclosing function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, sl *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort":
+			// any sort.X(...) mentioning the slice
+		case "slices":
+			if len(sel.Sel.Name) < 4 || sel.Sel.Name[:4] != "Sort" {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.ObjectOf(id) == sl {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// sanctionedGoFile is the one file allowed to launch goroutines in
+// simulator-driven packages: sim.Kernel.Spawn wraps each simulated process
+// in a goroutine-backed coroutine there, and the kernel hands the virtual
+// CPU to exactly one of them at a time.
+const (
+	sanctionedGoPkg  = "bgpcoll/internal/sim"
+	sanctionedGoFile = "proc.go"
+)
+
+// RawGoroutine forbids `go` statements in simulator-driven packages outside
+// the sanctioned launch site. A raw goroutine runs concurrently with the
+// event loop on the real scheduler, so its effects land at wall-clock-
+// dependent points in virtual time — the definition of a determinism bug.
+var RawGoroutine = &Analyzer{
+	Name:    "rawgoroutine",
+	Doc:     "forbid go statements in simulator-driven packages outside sim's sanctioned process launch site; use Kernel.Spawn",
+	Applies: isSimDriven,
+	Run:     runRawGoroutine,
+}
+
+func runRawGoroutine(pass *Pass) error {
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if pass.Path == sanctionedGoPkg && name == sanctionedGoFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"raw go statement in a simulator-driven package; simulated concurrency must be a sim process (Kernel.Spawn)")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// SimDeterminism forbids wall-clock time and the unseeded global math/rand
+// source in simulator-driven packages. Event ordering there must depend only
+// on virtual time (sim.Time) and explicitly seeded randomness; one stray
+// time.Now() silently corrupts every benchmark figure without failing a
+// test.
+var SimDeterminism = &Analyzer{
+	Name:    "simdeterminism",
+	Doc:     "forbid wall-clock time and unseeded math/rand in simulator-driven packages; all timing must flow through sim.Time",
+	Applies: isSimDriven,
+	Run:     runSimDeterminism,
+}
+
+// bannedTimeFuncs are the package time functions that read or wait on the
+// wall clock. Pure types and constants (time.Duration, time.Millisecond)
+// stay legal: they do not observe real time.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// seededRandConstructors are the math/rand (and v2) package-level functions
+// that build an explicitly seeded generator; everything else at package
+// level draws from the process-global source, whose sequence depends on what
+// else has consumed it (and, in rand/v2, on a per-process random seed).
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods (e.g. (*rand.Rand).Intn) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(ident.Pos(),
+					"time.%s reads the wall clock; simulator-driven code must use the kernel's virtual clock (sim.Time)", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandConstructors[fn.Name()] {
+				pass.Reportf(ident.Pos(),
+					"rand.%s draws from the unseeded process-global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", fn.Name())
+			}
+		}
+	}
+	// Uses iteration order is nondeterministic, but diagnostics are sorted
+	// by position in Run, so output order is stable.
+	return nil
+}

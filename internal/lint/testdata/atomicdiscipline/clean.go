@@ -1,0 +1,36 @@
+package shm
+
+import "sync/atomic"
+
+// Pointer receivers and pointer passing never copy the atomic state.
+type cleanCounter struct{ v atomic.Int64 }
+
+func (c *cleanCounter) inc() int64 { return c.v.Add(1) }
+
+func readThrough(c *cleanCounter) int64 { return c.v.Load() }
+
+// A fresh composite literal is initialization, not a copy.
+func newCleanCounter() *cleanCounter {
+	c := cleanCounter{}
+	return &c
+}
+
+// Index-and-address iteration keeps slot state shared, the FIFO pattern.
+type cleanFIFO struct{ slots []cleanCounter }
+
+func (f *cleanFIFO) slot(i int) *cleanCounter { return &f.slots[i] }
+
+func (f *cleanFIFO) reset() {
+	for i := range f.slots {
+		f.slots[i].v.Store(0)
+	}
+}
+
+// Uniformly atomic access through the function API is the old-style (pre
+// atomic.Int64) discipline and stays legal.
+type cleanWord struct{ n int64 }
+
+func allAtomic(w *cleanWord) int64 {
+	atomic.AddInt64(&w.n, 1)
+	return atomic.LoadInt64(&w.n)
+}

@@ -1,0 +1,51 @@
+package shm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Locks are forbidden: the paper's structures coordinate exclusively through
+// atomic fetch-and-increment.
+var flaggedGlobalMu sync.Mutex // want `sync\.Mutex variable in shm`
+
+type lockedCounter struct {
+	mu sync.Mutex // want `sync\.Mutex field in shm`
+	n  int64
+}
+
+func (c *lockedCounter) bump() {
+	c.mu.Lock() // want `sync Lock call in shm`
+	c.n++
+	c.mu.Unlock() // want `sync Unlock call in shm`
+}
+
+// Copying a struct that embeds atomic state forks the counter: the two
+// copies silently diverge.
+type counter struct{ v atomic.Int64 }
+
+func flaggedValueParam(c counter) int64 { // want `value parameter .*counter copies atomic state by value`
+	return c.v.Load()
+}
+
+func flaggedAssignCopy(c *counter) {
+	snapshot := *c // want `assignment copies .*counter by value`
+	snapshot.v.Add(1)
+}
+
+func flaggedRangeCopy(cs []counter) int64 {
+	var total int64
+	for _, c := range cs { // want `range value copies .*counter per element`
+		total += c.v.Load()
+	}
+	return total
+}
+
+// Mixing the sync/atomic function API with plain accesses of the same field
+// is a data race.
+type word struct{ n int64 }
+
+func flaggedMixed(w *word) int64 {
+	atomic.AddInt64(&w.n, 1)
+	return w.n // want `plain access to field n`
+}

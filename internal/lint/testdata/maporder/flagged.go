@@ -1,0 +1,39 @@
+package mpi
+
+import "fmt"
+
+// String building leaks iteration order straight into the output.
+func flaggedConcat(m map[string]int) string {
+	msg := ""
+	for k, v := range m { // want `iteration over map m has an order-sensitive body`
+		msg += fmt.Sprintf("%s=%d ", k, v)
+	}
+	return msg
+}
+
+// Float accumulation is order-sensitive in the bits: float addition is not
+// associative, so a randomized order changes the last ulp.
+func flaggedFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `iteration over map m has an order-sensitive body`
+		sum += v
+	}
+	return sum
+}
+
+// Collecting keys without sorting them hands callers a randomized slice.
+func flaggedUnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into slice "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Function calls in the body may observe order (here: the send ordering on
+// the channel).
+func flaggedSend(m map[string]int, out chan<- string) {
+	for k := range m { // want `iteration over map m has an order-sensitive body`
+		out <- k
+	}
+}

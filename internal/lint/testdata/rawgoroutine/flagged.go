@@ -1,0 +1,13 @@
+package sim
+
+// Raw goroutines anywhere else in a simulator-driven package race the event
+// loop on the real scheduler.
+func flaggedSpawn(fn func()) {
+	go fn() // want `raw go statement in a simulator-driven package`
+}
+
+func flaggedClosure(results chan<- int) {
+	go func() { // want `raw go statement in a simulator-driven package`
+		results <- 1
+	}()
+}

@@ -1,0 +1,8 @@
+package sim
+
+// This file mirrors the sanctioned launch site internal/sim/proc.go: the
+// analyzer exempts go statements here (and only here), because Kernel.Spawn
+// wraps every simulated process in a goroutine-backed coroutine.
+func sanctionedSpawn(fn func()) {
+	go fn()
+}

@@ -1,0 +1,23 @@
+package coll
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Pure time types and constants never observe the wall clock.
+const tick = 10 * time.Millisecond
+
+// An explicitly seeded generator is reproducible and therefore allowed.
+func cleanSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(42)
+}
+
+// Methods on a seeded *rand.Rand are fine; only the global source is banned.
+func cleanPerm(r *rand.Rand) []int { return r.Perm(8) }
+
+// A reviewed exception is silenced with an allow annotation.
+func allowedException() int64 {
+	return time.Now().UnixNano() //bgplint:allow simdeterminism demo of the escape hatch
+}

@@ -1,0 +1,23 @@
+package coll
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads in a simulator-driven package: every one of these makes
+// event timing depend on the host machine instead of sim.Time.
+func flaggedWallClock() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	var zero time.Time
+	_ = time.Since(zero)     // want `time\.Since reads the wall clock`
+	return time.Until(start) // want `time\.Until reads the wall clock`
+}
+
+// The process-global rand source: its sequence depends on everything else
+// that has consumed it, so two runs diverge.
+func flaggedGlobalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the unseeded process-global source`
+	return rand.Intn(42)               // want `rand\.Intn draws from the unseeded process-global source`
+}

@@ -52,15 +52,18 @@ func TestReportAccounting(t *testing.T) {
 }
 
 func TestFmtBytes(t *testing.T) {
-	cases := map[int64]string{
-		512:     "512 B",
-		2 << 10: "2.00 KB",
-		3 << 20: "3.00 MB",
-		5 << 30: "5.00 GB",
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 << 10, "2.00 KB"},
+		{3 << 20, "3.00 MB"},
+		{5 << 30, "5.00 GB"},
 	}
-	for n, want := range cases {
-		if got := fmtBytes(n); got != want {
-			t.Errorf("fmtBytes(%d) = %q, want %q", n, got, want)
+	for _, c := range cases {
+		if got := fmtBytes(c.n); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.n, got, c.want)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package shm
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -79,6 +80,7 @@ func TestPtPConcurrentMPMC(t *testing.T) {
 		}(p)
 	}
 	results := make(chan int, producers*perProducer)
+	producersDone := done(&wg)
 	var cg sync.WaitGroup
 	for c := 0; c < consumers; c++ {
 		cg.Add(1)
@@ -88,11 +90,12 @@ func TestPtPConcurrentMPMC(t *testing.T) {
 				msg, ok := f.TryDequeue()
 				if !ok {
 					select {
-					case <-done(&wg):
+					case <-producersDone:
 						if msg, ok = f.TryDequeue(); !ok {
 							return
 						}
 					default:
+						runtime.Gosched()
 						continue
 					}
 				}
@@ -196,7 +199,7 @@ func TestBcastFIFOMetadataMultiplexing(t *testing.T) {
 // TestBcastFIFOConcurrent runs a producer and three consumers over a small
 // FIFO, forcing wrap-around and slot-reuse races.
 func TestBcastFIFOConcurrent(t *testing.T) {
-	const items = 1200
+	const items = 400
 	const nReaders = 3
 	f := NewBcastFIFO(4, 8, nReaders)
 	var wg sync.WaitGroup

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
+	"strings"
 )
 
 // Kernel is a deterministic discrete-event scheduler. The zero value is not
@@ -69,11 +71,14 @@ func (k *Kernel) Run() error {
 }
 
 func (k *Kernel) deadlockError() error {
-	msg := "sim: deadlock, blocked processes:"
+	// Sort the report so the error text does not depend on map iteration
+	// order (determinism tests compare failure output too).
+	blocked := make([]string, 0, len(k.blocked))
 	for p, what := range k.blocked {
-		msg += fmt.Sprintf(" %s(%s)", p.name, what)
+		blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, what))
 	}
-	return fmt.Errorf("%s", msg)
+	sort.Strings(blocked)
+	return fmt.Errorf("sim: deadlock, blocked processes: %s", strings.Join(blocked, " "))
 }
 
 // fail records a fatal simulation error (process panic).

@@ -138,6 +138,7 @@ func maxTime(a, b sim.Time) sim.Time {
 // Stats aggregates all link pipes: count, total bytes carried, and summed
 // busy time. Used by utilization reports.
 func (n *Network) Stats() (links int, bytes int64, busy sim.Time) {
+	//bgplint:allow maporder integer sums of a pure per-link getter commute
 	for _, l := range n.links {
 		b, bu, _ := l.Stats()
 		bytes += b
