@@ -5,12 +5,18 @@
 //	bgpbench -exp fig10,table1   # a subset
 //	bgpbench -racks 2            # torus experiments at full 2-rack scale
 //	bgpbench -quick              # trimmed message sweeps for a fast pass
+//	bgpbench -par 1              # serial sweep (default: GOMAXPROCS workers)
+//	bgpbench -benchjson BENCH_SIM.json   # record per-figure wall-clock
+//	bgpbench -cpuprofile cpu.pprof       # profile the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -18,22 +24,64 @@ import (
 	"bgpcoll/internal/coll"
 )
 
+// benchReport is the BENCH_SIM.json schema: one record per run so the
+// perf trajectory is comparable across PRs.
+type benchReport struct {
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Workers     int               `json:"workers"` // 0 = GOMAXPROCS
+	Racks       int               `json:"racks"`
+	Iters       int               `json:"iters"`
+	Quick       bool              `json:"quick"`
+	Experiments []experimentTimes `json:"experiments"`
+	TotalMS     float64           `json:"total_ms"`
+}
+
+type experimentTimes struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
 func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments: fig6,fig7,fig8,fig9,fig10,table1, ablation.colors, ablation.chunk, ablation.fifo, \"ablations\", or all")
 	racks := flag.Int("racks", 0, "racks for partition size (0 = per-experiment default; torus experiments default to a 512-node midplane)")
 	iters := flag.Int("iters", 0, "micro-benchmark iterations (0 = per-experiment default)")
 	quick := flag.Bool("quick", false, "trim message-size sweeps")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	par := flag.Int("par", 0, "sweep worker count: cells fan across this many goroutines (0 = GOMAXPROCS, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times to this JSON file (BENCH_SIM.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	coll.Register()
-	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick}
+	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick, Workers: *par}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
-	ranAny := false
+	report := benchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *par,
+		Racks:      *racks,
+		Iters:      *iters,
+		Quick:      *quick,
+	}
+	totalStart := time.Now()
 	all := append(bench.Experiments(), bench.Ablations()...)
 	for _, exp := range all {
 		isAblation := strings.HasPrefix(exp.ID, "ablation.")
@@ -43,22 +91,51 @@ func main() {
 		if !selected {
 			continue
 		}
-		ranAny = true
 		start := time.Now()
 		fig, err := exp.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bgpbench: %s: %v\n", exp.ID, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
+		report.Experiments = append(report.Experiments, experimentTimes{
+			ID:     exp.ID,
+			WallMS: float64(wall.Microseconds()) / 1e3,
+		})
 		if *csv {
 			fig.CSV(os.Stdout)
 		} else {
 			fig.Print(os.Stdout)
-			fmt.Printf("[%s regenerated in %v]\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[%s regenerated in %v]\n\n", exp.ID, wall.Round(time.Millisecond))
 		}
 	}
-	if !ranAny {
+	if len(report.Experiments) == 0 {
 		fmt.Fprintf(os.Stderr, "bgpbench: no experiment matched %q\n", *exps)
 		os.Exit(2)
+	}
+	report.TotalMS = float64(time.Since(totalStart).Microseconds()) / 1e3
+
+	if *benchJSON != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: writing %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bgpbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -58,12 +58,16 @@ func AblationColors(o Options) (*Figure, error) {
 		Sizes:  counts,
 	}
 	s := Series{Label: "Torus+Shaddr(2M)", Values: make([]float64, len(counts))}
-	for i, n := range counts {
-		t, err := measureTorusBcast(cfg, mpi.BcastTorusShaddr, n)
+	err = parallelEach(o.Workers, len(counts), func(i int) error {
+		t, err := measureTorusBcast(cfg, mpi.BcastTorusShaddr, counts[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.Values[i] = BandwidthMBs(ablationMsg, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil
@@ -89,15 +93,19 @@ func AblationChunk(o Options) (*Figure, error) {
 		Sizes:  widths,
 	}
 	s := Series{Label: "Torus+Shaddr(2M)", Values: make([]float64, len(widths))}
-	for i, w := range widths {
+	err = parallelEach(o.Workers, len(widths), func(i int) error {
 		cfg := base
-		cfg.Params.MinChunk = w
-		cfg.Params.MaxChunk = w
+		cfg.Params.MinChunk = widths[i]
+		cfg.Params.MaxChunk = widths[i]
 		t, err := measureTorusBcast(cfg, mpi.BcastTorusShaddr, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.Values[i] = BandwidthMBs(ablationMsg, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil
@@ -123,14 +131,18 @@ func AblationFIFO(o Options) (*Figure, error) {
 		Sizes:  slotCounts,
 	}
 	s := Series{Label: "Torus+FIFO(2M)", Values: make([]float64, len(slotCounts))}
-	for i, n := range slotCounts {
+	err = parallelEach(o.Workers, len(slotCounts), func(i int) error {
 		cfg := base
-		cfg.Params.FIFOSlots = n
+		cfg.Params.FIFOSlots = slotCounts[i]
 		t, err := measureTorusBcast(cfg, mpi.BcastTorusFIFO, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.Values[i] = BandwidthMBs(ablationMsg, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil

@@ -27,6 +27,11 @@ type Options struct {
 	Iters int
 	// Quick trims the message-size sweeps for fast smoke runs.
 	Quick bool
+	// Workers bounds the sweep runner's pool: every (series, size) cell is
+	// an independent deterministic kernel run, fanned across this many
+	// goroutines and merged in fixed cell order. 0 means GOMAXPROCS; 1
+	// forces the serial path.
+	Workers int
 }
 
 func (o Options) iters(def int) int {

@@ -9,17 +9,33 @@ import (
 	"bgpcoll/internal/sim"
 )
 
-// bcastSeries measures one broadcast algorithm over the sweep.
-func bcastSeries(cfg hw.Config, label, algo string, sizes []int, iters int, toValue func(msg int, t sim.Time) float64) (Series, error) {
-	s := Series{Label: label, Values: make([]float64, len(sizes))}
-	for i, msg := range sizes {
-		t, err := MeasureBcast(cfg, algo, msg, iters)
-		if err != nil {
-			return s, fmt.Errorf("%s @ %s: %w", label, SizeLabel(msg), err)
-		}
-		s.Values[i] = toValue(msg, t)
+// bcastRow is one curve of a broadcast figure: a label, the partition it
+// runs on, and the algorithm under test.
+type bcastRow struct {
+	Label string
+	Cfg   hw.Config
+	Algo  string
+}
+
+// bcastGrid measures every (row, size) cell of a broadcast figure. Each cell
+// is an independent deterministic kernel run, so the grid fans across the
+// sweep runner's worker pool; values land in fixed (row, size) slots
+// regardless of completion order.
+func bcastGrid(o Options, rows []bcastRow, sizes []int, iters int, toValue func(msg int, t sim.Time) float64) ([]Series, error) {
+	series := make([]Series, len(rows))
+	for r := range series {
+		series[r] = Series{Label: rows[r].Label, Values: make([]float64, len(sizes))}
 	}
-	return s, nil
+	err := parallelEach(o.Workers, len(rows)*len(sizes), func(i int) error {
+		r, s := i/len(sizes), i%len(sizes)
+		t, err := MeasureBcast(rows[r].Cfg, rows[r].Algo, sizes[s], iters)
+		if err != nil {
+			return fmt.Errorf("%s @ %s: %w", rows[r].Label, SizeLabel(sizes[s]), err)
+		}
+		series[r].Values[s] = toValue(sizes[s], t)
+		return nil
+	})
+	return series, err
 }
 
 func latencyUS(_ int, t sim.Time) float64 { return t.Microseconds() }
@@ -45,20 +61,13 @@ func Fig6(o Options) (*Figure, error) {
 		YLabel: "latency (us)",
 		Sizes:  sizes,
 	}
-	for _, row := range []struct {
-		label string
-		cfg   hw.Config
-		algo  string
-	}{
+	fig.Series, err = bcastGrid(o, []bcastRow{
 		{"CollectiveNetwork+Shmem", quad, mpi.BcastTreeShmem},
 		{"CollectiveNetwork+DMA FIFO", quad, mpi.BcastTreeDMAFIFO},
 		{"CollectiveNetwork (SMP)", smp, mpi.BcastTreeSMP},
-	} {
-		s, err := bcastSeries(row.cfg, row.label, row.algo, sizes, iters, latencyUS)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+	}, sizes, iters, latencyUS)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -87,21 +96,14 @@ func Fig7(o Options) (*Figure, error) {
 		YLabel: "bandwidth (MB/s)",
 		Sizes:  sizes,
 	}
-	for _, row := range []struct {
-		label string
-		cfg   hw.Config
-		algo  string
-	}{
+	fig.Series, err = bcastGrid(o, []bcastRow{
 		{"CollectiveNetwork+Shaddr", quad, mpi.BcastTreeShaddr},
 		{"CollectiveNetwork+DMA FIFO", quad, mpi.BcastTreeDMAFIFO},
 		{"CollectiveNetwork+DMA Direct Put", quad, mpi.BcastTreeDMADirect},
 		{"CollectiveNetwork (SMP)", smp, mpi.BcastTreeSMP},
-	} {
-		s, err := bcastSeries(row.cfg, row.label, row.algo, sizes, iters, BandwidthMBs)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+	}, sizes, iters, BandwidthMBs)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -129,18 +131,12 @@ func Fig8(o Options) (*Figure, error) {
 		YLabel: "bandwidth (MB/s)",
 		Sizes:  sizes,
 	}
-	for _, row := range []struct {
-		label string
-		cfg   hw.Config
-	}{
-		{"CollectiveNetwork+Shaddr+caching", cached},
-		{"CollectiveNetwork+Shaddr+nocaching", nocache},
-	} {
-		s, err := bcastSeries(row.cfg, row.label, mpi.BcastTreeShaddr, sizes, iters, BandwidthMBs)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+	fig.Series, err = bcastGrid(o, []bcastRow{
+		{"CollectiveNetwork+Shaddr+caching", cached, mpi.BcastTreeShaddr},
+		{"CollectiveNetwork+Shaddr+nocaching", nocache, mpi.BcastTreeShaddr},
+	}, sizes, iters, BandwidthMBs)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -169,17 +165,18 @@ func Fig9(o Options) (*Figure, error) {
 		YLabel: "bandwidth (MB/s)",
 		Sizes:  sizes,
 	}
-	for _, g := range geoms {
+	rows := make([]bcastRow, len(geoms))
+	for i, g := range geoms {
 		cfg := hw.DefaultConfig()
 		cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = g.torus[0], g.torus[1], g.torus[2]
 		cfg.Mode = hw.Quad
 		cfg.Functional = false
-		label := fmt.Sprintf("CollectiveNetwork+Shaddr(%d)", g.ranks)
-		s, err := bcastSeries(cfg, label, mpi.BcastTreeShaddr, sizes, iters, BandwidthMBs)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+		rows[i] = bcastRow{fmt.Sprintf("CollectiveNetwork+Shaddr(%d)", g.ranks), cfg, mpi.BcastTreeShaddr}
+	}
+	var err error
+	fig.Series, err = bcastGrid(o, rows, sizes, iters, BandwidthMBs)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -207,21 +204,14 @@ func Fig10(o Options) (*Figure, error) {
 		YLabel: "bandwidth (MB/s)",
 		Sizes:  sizes,
 	}
-	for _, row := range []struct {
-		label string
-		cfg   hw.Config
-		algo  string
-	}{
+	fig.Series, err = bcastGrid(o, []bcastRow{
 		{"Torus+Shaddr", quad, mpi.BcastTorusShaddr},
 		{"Torus+FIFO", quad, mpi.BcastTorusFIFO},
 		{"Torus Direct Put", quad, mpi.BcastTorusDirectPut},
 		{"Torus Direct Put(SMP)", smp, mpi.BcastTorusDirectPut},
-	} {
-		s, err := bcastSeries(row.cfg, row.label, row.algo, sizes, iters, BandwidthMBs)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+	}, sizes, iters, BandwidthMBs)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -242,22 +232,29 @@ func Table1(o Options) (*Figure, error) {
 		YLabel: "throughput (MB/s)",
 		Sizes:  doubleCounts,
 	}
-	for _, row := range []struct {
+	rows := []struct {
 		label string
 		algo  string
 	}{
 		{"New (MB/s)", mpi.AllreduceTorusNew},
 		{"Current (MB/s)", mpi.AllreduceTorusCurrent},
-	} {
-		s := Series{Label: row.label, Values: make([]float64, len(doubleCounts))}
-		for i, doubles := range doubleCounts {
-			t, err := MeasureAllreduce(cfg, row.algo, doubles, iters)
-			if err != nil {
-				return nil, err
-			}
-			s.Values[i] = BandwidthMBs(doubles*data.Float64Len, t)
+	}
+	fig.Series = make([]Series, len(rows))
+	for r := range rows {
+		fig.Series[r] = Series{Label: rows[r].label, Values: make([]float64, len(doubleCounts))}
+	}
+	err = parallelEach(o.Workers, len(rows)*len(doubleCounts), func(i int) error {
+		r, s := i/len(doubleCounts), i%len(doubleCounts)
+		doubles := doubleCounts[s]
+		t, err := MeasureAllreduce(cfg, rows[r].algo, doubles, iters)
+		if err != nil {
+			return err
 		}
-		fig.Series = append(fig.Series, s)
+		fig.Series[r].Values[s] = BandwidthMBs(doubles*data.Float64Len, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

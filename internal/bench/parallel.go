@@ -1,0 +1,62 @@
+// Parallel sweep runner. Every figure is a grid of (series, size) cells and
+// every cell is one self-contained, deterministic sim.Kernel run: a fresh
+// World on a fresh kernel, writing only to its own result slot. Cells
+// therefore parallelize freely — fan-out order cannot change any value, only
+// the wall-clock — and results are merged in fixed cell-index order.
+//
+// This file is the second bgplint-sanctioned goroutine launch site (after
+// sim.Kernel.Spawn's coroutine wrapper): the pool workers below run whole
+// simulations to completion and never share simulation state, so the
+// determinism argument of DESIGN.md §9 is preserved.
+
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelEach runs job(0..n-1) across min(workers, n) pool goroutines and
+// returns the lowest-index error, matching what a serial loop that stops at
+// the first failure would report. workers <= 0 means GOMAXPROCS; workers == 1
+// degenerates to the serial loop on the caller's goroutine.
+func parallelEach(workers, n int, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

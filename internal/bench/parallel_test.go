@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bgpcoll/internal/mpi"
+)
+
+func TestParallelEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 37
+		hit := make([]int, n)
+		err := parallelEach(workers, n, func(i int) error {
+			hit[i]++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range hit {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelEachZeroJobs(t *testing.T) {
+	if err := parallelEach(4, 0, func(int) error { return errors.New("ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parallelEach must report the same error a serial loop stopping at the first
+// failure would: the lowest-index one, regardless of completion order.
+func TestParallelEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := parallelEach(workers, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 7's", workers, err)
+		}
+	}
+}
+
+// TestParallelSweepDeterminism is the determinism argument for the sweep
+// runner, executed: a grid of (algorithm, size) cells measured serially and
+// with a contended pool must produce bit-identical values, because every
+// cell is a self-contained kernel run.
+func TestParallelSweepDeterminism(t *testing.T) {
+	cfg := tinyConfig()
+	rows := []bcastRow{
+		{"shaddr", cfg, mpi.BcastTorusShaddr},
+		{"fifo", cfg, mpi.BcastTorusFIFO},
+	}
+	sizes := []int{4 << 10, 64 << 10}
+	grid := func(workers int) []Series {
+		s, err := bcastGrid(Options{Workers: workers}, rows, sizes, 1, BandwidthMBs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial := grid(1)
+	parallel := grid(8)
+	for r := range serial {
+		for i := range serial[r].Values {
+			if serial[r].Values[i] != parallel[r].Values[i] {
+				t.Fatalf("cell (%s, %d): serial %v != parallel %v",
+					serial[r].Label, sizes[i], serial[r].Values[i], parallel[r].Values[i])
+			}
+		}
+	}
+}

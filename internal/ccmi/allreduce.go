@@ -164,10 +164,8 @@ func (cr *colorReduce) succ(v geometry.Coord) (geometry.Coord, geometry.Dim, boo
 func (cr *colorReduce) start() {
 	m := cr.a.M
 	for n := 0; n < m.Geom.Nodes(); n++ {
-		n := n
 		coord := m.Geom.CoordOf(n)
 		for c, span := range cr.spans {
-			c, span := c, span
 			// Thresholds are relative to this color's partition.
 			threshold := int64(span.Off + span.Len - cr.baseOff)
 			cr.a.Contrib[n][cr.colorIdx].OnGE(threshold, func() {

@@ -161,7 +161,6 @@ func TestAllreduceIncrementalContributions(t *testing.T) {
 	m.K.At(0, ar.Run)
 	// Feed contributions in two halves at different times.
 	for n := 0; n < nodes; n++ {
-		n := n
 		m.K.At(sim.Microsecond, func() {
 			for _, c := range ar.Contrib[n] {
 				c.Add(int64(bytes / 2))

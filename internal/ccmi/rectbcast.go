@@ -181,7 +181,6 @@ func (cr *colorRun) forward(v geometry.Coord, span hw.Span) {
 		t = injDone
 	}
 	for _, d := range lines {
-		d := d
 		injDone := dma.Inject(t, wire)
 		k.At(injDone, func() {
 			arrivals, _ := cr.m.Torus.LineBcast(k.Now(), v, d, cr.color.Dir, cr.lane, span.Len)

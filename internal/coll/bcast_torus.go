@@ -97,7 +97,6 @@ func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int) {
 	if r.Rank() == root {
 		hook := func(node int, span hw.Span, t sim.Time) {
 			for p := 1; p < ppn; p++ {
-				p := p
 				putDone := m.Node(node).DMA.LocalCopy(t, span.Len)
 				cnt := st.peer[node][p]
 				m.K.At(putDone, func() { cnt.Add(int64(span.Len)) })

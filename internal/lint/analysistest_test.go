@@ -111,6 +111,10 @@ func TestRawGoroutine(t *testing.T) {
 	runFixture(t, RawGoroutine, "bgpcoll/internal/sim", "testdata/rawgoroutine")
 }
 
+func TestRawGoroutineBenchSite(t *testing.T) {
+	runFixture(t, RawGoroutine, "bgpcoll/internal/bench", "testdata/rawgoroutine_bench")
+}
+
 func TestMapOrder(t *testing.T) {
 	runFixture(t, MapOrder, "bgpcoll/internal/mpi", "testdata/maporder")
 }
@@ -152,6 +156,23 @@ func TestSanctionedGoFileIsExactlyOne(t *testing.T) {
 	// joining the two always-flagged sites.
 	if len(diags) != 3 {
 		t.Errorf("got %d diagnostics, want 3 (proc.go exemption must be path-specific):", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+
+	// Same for the bench sweep-runner site: parallel.go is only exempt under
+	// bgpcoll/internal/bench.
+	pkg, err = testLoader(t).LoadFixture("testdata/rawgoroutine_bench", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err = Run(pkg, []*Analyzer{RawGoroutine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2 (parallel.go exemption must be path-specific):", len(diags))
 		for _, d := range diags {
 			t.Logf("  %s", d)
 		}

@@ -5,22 +5,27 @@ import (
 	"path/filepath"
 )
 
-// sanctionedGoFile is the one file allowed to launch goroutines in
-// simulator-driven packages: sim.Kernel.Spawn wraps each simulated process
-// in a goroutine-backed coroutine there, and the kernel hands the virtual
-// CPU to exactly one of them at a time.
-const (
-	sanctionedGoPkg  = "bgpcoll/internal/sim"
-	sanctionedGoFile = "proc.go"
-)
+// sanctionedGoFiles maps a simulator-driven package to the one file in it
+// allowed to launch goroutines:
+//
+//   - internal/sim/proc.go: sim.Kernel.Spawn wraps each simulated process in
+//     a goroutine-backed coroutine, and the kernel hands the virtual CPU to
+//     exactly one of them at a time.
+//   - internal/bench/parallel.go: the sweep runner fans whole, independent
+//     simulations (one kernel per cell, results merged in fixed cell order)
+//     across a worker pool; no simulation state crosses goroutines.
+var sanctionedGoFiles = map[string]string{
+	"bgpcoll/internal/sim":   "proc.go",
+	"bgpcoll/internal/bench": "parallel.go",
+}
 
 // RawGoroutine forbids `go` statements in simulator-driven packages outside
-// the sanctioned launch site. A raw goroutine runs concurrently with the
+// the sanctioned launch sites. A raw goroutine runs concurrently with the
 // event loop on the real scheduler, so its effects land at wall-clock-
 // dependent points in virtual time — the definition of a determinism bug.
 var RawGoroutine = &Analyzer{
 	Name:    "rawgoroutine",
-	Doc:     "forbid go statements in simulator-driven packages outside sim's sanctioned process launch site; use Kernel.Spawn",
+	Doc:     "forbid go statements in simulator-driven packages outside the sanctioned launch sites; use Kernel.Spawn (or the bench sweep runner)",
 	Applies: isSimDriven,
 	Run:     runRawGoroutine,
 }
@@ -28,7 +33,7 @@ var RawGoroutine = &Analyzer{
 func runRawGoroutine(pass *Pass) error {
 	for _, file := range pass.Files {
 		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
-		if pass.Path == sanctionedGoPkg && name == sanctionedGoFile {
+		if sanctionedGoFiles[pass.Path] == name {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

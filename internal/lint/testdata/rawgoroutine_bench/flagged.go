@@ -1,0 +1,9 @@
+package bench
+
+// Goroutines anywhere else in the bench package still race the simulations
+// they share memory with.
+func flaggedHelper(done chan<- struct{}) {
+	go func() { // want `raw go statement in a simulator-driven package`
+		done <- struct{}{}
+	}()
+}

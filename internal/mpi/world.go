@@ -95,7 +95,6 @@ func (w *World) Rank(id int) *Rank { return w.ranks[id] }
 // simulation until all ranks return. It returns the virtual time consumed.
 func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
 	for _, r := range w.ranks {
-		r := r
 		r.proc = w.M.K.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			fn(r)
 		})

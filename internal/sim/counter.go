@@ -67,11 +67,14 @@ func (c *Counter) release() {
 	if n == 0 {
 		return
 	}
-	ready := c.waiters[:n]
-	c.waiters = c.waiters[n:]
-	for _, w := range ready {
+	for _, w := range c.waiters[:n] {
 		c.k.At(c.k.now, w.fn)
 	}
+	// Compact in place rather than re-slicing the front away: waking repeatedly
+	// would otherwise shrink capacity to zero and reallocate on every wait.
+	rem := copy(c.waiters, c.waiters[n:])
+	clear(c.waiters[rem:])
+	c.waiters = c.waiters[:rem]
 }
 
 // OnGE schedules fn once the counter reaches at least v. If it already has,

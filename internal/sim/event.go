@@ -27,7 +27,6 @@ func (e *Event) Fire() {
 	}
 	e.fired = true
 	for _, w := range e.waiters {
-		w := w
 		e.k.At(e.k.now, w)
 	}
 	e.waiters = nil

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,25 +8,35 @@ import (
 
 // Kernel is a deterministic discrete-event scheduler. The zero value is not
 // usable; create kernels with New.
+//
+// Pending events live in two structures chosen by timestamp at schedule
+// time. Events for the current instant (the dominant case: Event.Fire
+// fan-out, counter wakeups, process rendezvous) go to ring, a FIFO ring
+// buffer popped in constant time. Events for a future instant go to queue, a
+// monomorphic 4-ary min-heap ordered by (time, seq). Because At(now) never
+// inserts into the heap and the ring fully drains before the clock advances,
+// every ring entry's seq is greater than that of any heap entry at the same
+// timestamp, so popping heap-at-now entries before ring entries reproduces
+// exactly the global (time, seq) order of a single priority queue.
 type Kernel struct {
 	now     Time
-	seq     int64
 	queue   eventHeap
+	ring    runRing
 	running bool
 
-	// liveProcs counts spawned processes that have not finished. blocked
-	// counts processes currently waiting on an Event or Counter threshold
-	// (not a timed sleep). If the event queue drains while blocked > 0 the
-	// simulation is deadlocked.
-	liveProcs int
-	blocked   map[*Proc]string
+	// procs lists every spawned process; each tracks its own blocked state.
+	// blocked counts processes currently waiting on an Event or Counter
+	// threshold (not a timed sleep). If all events drain while blocked > 0
+	// the simulation is deadlocked.
+	procs   []*Proc
+	blocked int
 
 	failure error
 }
 
 // New returns a kernel with the clock at zero.
 func New() *Kernel {
-	return &Kernel{blocked: make(map[*Proc]string)}
+	return &Kernel{}
 }
 
 // Now returns the current virtual time.
@@ -36,11 +45,14 @@ func (k *Kernel) Now() Time { return k.now }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a broken cost model rather than a recoverable state.
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	if t <= k.now {
+		if t < k.now {
+			panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+		}
+		k.ring.push(fn)
+		return
 	}
-	k.seq++
-	heap.Push(&k.queue, scheduled{t: t, seq: k.seq, fn: fn})
+	k.queue.push(t, fn)
 }
 
 // After schedules fn to run d after the current time.
@@ -56,26 +68,40 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() { k.running = false }()
 
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(scheduled)
-		k.now = ev.t
-		ev.fn()
+	for {
+		// Heap entries at the current instant predate (in seq order) every
+		// ring entry, so they run first; otherwise the FIFO ring drains
+		// before the clock may advance to the heap's next timestamp.
+		var fn func()
+		if n := len(k.queue.s); n > 0 && k.queue.s[0].t <= k.now {
+			fn = k.queue.pop()
+		} else if !k.ring.empty() {
+			fn = k.ring.pop()
+		} else if n > 0 {
+			k.now = k.queue.s[0].t
+			fn = k.queue.pop()
+		} else {
+			break
+		}
+		fn()
 		if k.failure != nil {
 			return k.failure
 		}
 	}
-	if len(k.blocked) > 0 {
+	if k.blocked > 0 {
 		return k.deadlockError()
 	}
 	return nil
 }
 
 func (k *Kernel) deadlockError() error {
-	// Sort the report so the error text does not depend on map iteration
-	// order (determinism tests compare failure output too).
-	blocked := make([]string, 0, len(k.blocked))
-	for p, what := range k.blocked {
-		blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, what))
+	// Sort the report so the error text does not depend on discovery order
+	// (determinism tests compare failure output too).
+	var blocked []string
+	for _, p := range k.procs {
+		if what := p.blockedOn(); what != "" {
+			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, what))
+		}
 	}
 	sort.Strings(blocked)
 	return fmt.Errorf("sim: deadlock, blocked processes: %s", strings.Join(blocked, " "))
@@ -88,29 +114,119 @@ func (k *Kernel) fail(err error) {
 	}
 }
 
+// runRing is a growable FIFO ring buffer of same-instant callbacks. Push and
+// pop are a mask and an index increment; growth doubles and relinks the two
+// halves so FIFO order is preserved.
+type runRing struct {
+	buf  []func()
+	head int
+	tail int // one past the last element; buf is full when len == cap-1 slots used
+	n    int
+}
+
+func (r *runRing) empty() bool { return r.n == 0 }
+
+func (r *runRing) push(fn func()) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail] = fn
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+func (r *runRing) pop() func() {
+	fn := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return fn
+}
+
+func (r *runRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 64
+	}
+	next := make([]func(), size)
+	m := copy(next, r.buf[r.head:])
+	copy(next[m:], r.buf[:r.head])
+	r.buf, r.head, r.tail = next, 0, r.n
+}
+
+// scheduled is one future event: its firing time, a global sequence number
+// breaking same-time ties FIFO, and the callback.
 type scheduled struct {
 	t   Time
 	seq int64
 	fn  func()
 }
 
-type eventHeap []scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a monomorphic 4-ary min-heap of scheduled entries ordered by
+// (t, seq). A 4-ary layout halves the tree depth of a binary heap, and the
+// concrete element type avoids the interface boxing and indirect calls of
+// container/heap: push and pop allocate nothing beyond slice growth.
+type eventHeap struct {
+	s   []scheduled
+	seq int64
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduled)) }
+func (h *eventHeap) push(t Time, fn func()) {
+	h.seq++
+	h.s = append(h.s, scheduled{t: t, seq: h.seq, fn: fn})
+	// Sift up.
+	s := h.s
+	i := len(s) - 1
+	e := s[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := s[parent]
+		if e.t > p.t || (e.t == p.t && e.seq > p.seq) {
+			break
+		}
+		s[i] = p
+		i = parent
+	}
+	s[i] = e
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *eventHeap) pop() func() {
+	s := h.s
+	fn := s[0].fn
+	n := len(s) - 1
+	e := s[n]
+	s[n] = scheduled{} // release the callback for GC
+	h.s = s[:n]
+	if n == 0 {
+		return fn
+	}
+	// Sift down from the root.
+	s = h.s
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		min := first
+		m := s[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			x := s[c]
+			if x.t < m.t || (x.t == m.t && x.seq < m.seq) {
+				min, m = c, x
+			}
+		}
+		if e.t < m.t || (e.t == m.t && e.seq < m.seq) {
+			break
+		}
+		s[i] = m
+		i = min
+	}
+	s[i] = e
+	return fn
 }

@@ -29,7 +29,6 @@ func TestSameTimeFIFO(t *testing.T) {
 	k := New()
 	var order []int
 	for i := 0; i < 100; i++ {
-		i := i
 		k.At(5*Nanosecond, func() { order = append(order, i) })
 	}
 	if err := k.Run(); err != nil {
@@ -180,7 +179,6 @@ func TestCounterThresholds(t *testing.T) {
 	c := k.NewCounter("bytes")
 	var wokeAt []Time
 	for _, th := range []int64{100, 50, 150} {
-		th := th
 		k.Spawn("w", func(p *Proc) {
 			p.WaitGE(c, th)
 			wokeAt = append(wokeAt, p.Now())
@@ -366,7 +364,6 @@ func TestDeterminism(t *testing.T) {
 		pipe := k.NewPipe("shared", 2e9, 50*Nanosecond)
 		var finish []Time
 		for i := 0; i < 8; i++ {
-			i := i
 			k.Spawn("p", func(p *Proc) {
 				p.Sleep(Time(i) * 10 * Nanosecond)
 				p.Transfer(pipe, 4096)

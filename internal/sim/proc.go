@@ -10,10 +10,31 @@ import (
 // freely touch shared simulation state without locking. A process consumes
 // virtual time only through Sleep, Wait, WaitGE, and Transfer.
 type Proc struct {
-	k      *Kernel
-	name   string
-	resume chan struct{} // kernel -> proc: run
-	parked chan struct{} // proc -> kernel: yielded or finished
+	k    *Kernel
+	name string
+
+	// gate is the single rendezvous channel between the kernel and the
+	// process goroutine. Ownership of the virtual CPU strictly alternates:
+	// the kernel sends to hand the CPU to the process and then receives to
+	// take it back; the process receives to start running and sends to
+	// yield. With exactly one token in flight the unbuffered channel cannot
+	// mismatch sides.
+	gate chan struct{}
+
+	// run and wake are bound once at Spawn so the hot scheduling paths
+	// (Sleep, Wait, WaitGE and the kernel rendezvous itself) do not allocate
+	// a fresh closure per call.
+	run  func()
+	wake func()
+
+	// Blocked-on state for deadlock reporting. At most one is non-nil; the
+	// reason string is built lazily only when a deadlock is actually
+	// reported, keeping fmt off the wait hot path.
+	waitEv *Event
+	waitC  *Counter
+	waitGE int64
+
+	idx int // position in k.procs, for O(1) removal on exit
 }
 
 // Spawn creates a process running fn and schedules its first execution at the
@@ -21,39 +42,59 @@ type Proc struct {
 // the whole simulation with an error from Kernel.Run.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		k:      k,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		k:    k,
+		name: name,
+		gate: make(chan struct{}),
 	}
-	k.liveProcs++
+	p.run = func() {
+		p.gate <- struct{}{}
+		<-p.gate
+	}
+	p.wake = func() {
+		p.k.blocked--
+		p.waitEv, p.waitC = nil, nil
+		p.run()
+	}
+	p.idx = len(k.procs)
+	k.procs = append(k.procs, p)
 	go func() {
-		<-p.resume
+		<-p.gate
 		defer func() {
 			if r := recover(); r != nil {
 				k.fail(fmt.Errorf("sim: process %s panicked: %v\n%s", name, r, debug.Stack()))
 			}
-			k.liveProcs--
-			p.parked <- struct{}{}
+			// The kernel is parked in p.run here, so kernel state is ours to
+			// touch: drop the finished process from the deadlock-report set.
+			last := len(k.procs) - 1
+			k.procs[p.idx] = k.procs[last]
+			k.procs[p.idx].idx = p.idx
+			k.procs[last] = nil
+			k.procs = k.procs[:last]
+			p.gate <- struct{}{}
 		}()
 		fn(p)
 	}()
-	k.At(k.now, p.run)
+	k.ring.push(p.run)
 	return p
-}
-
-// run hands the virtual CPU to the process and blocks until it yields.
-// It is always invoked from the kernel's event loop.
-func (p *Proc) run() {
-	p.resume <- struct{}{}
-	<-p.parked
 }
 
 // yield returns control to the kernel event loop and blocks the goroutine
 // until the next p.run.
 func (p *Proc) yield() {
-	p.parked <- struct{}{}
-	<-p.resume
+	p.gate <- struct{}{}
+	<-p.gate
+}
+
+// blockedOn describes what the process is waiting on, or "" if it is not
+// blocked. Used only for deadlock reports.
+func (p *Proc) blockedOn() string {
+	switch {
+	case p.waitEv != nil:
+		return "event:" + p.waitEv.name
+	case p.waitC != nil:
+		return fmt.Sprintf("counter:%s>=%d", p.waitC.name, p.waitGE)
+	}
+	return ""
 }
 
 // Name returns the process name given at Spawn.
@@ -91,11 +132,9 @@ func (p *Proc) Wait(ev *Event) {
 	if ev.fired {
 		return
 	}
-	p.k.blocked[p] = "event:" + ev.name
-	ev.waiters = append(ev.waiters, func() {
-		delete(p.k.blocked, p)
-		p.run()
-	})
+	p.waitEv = ev
+	p.k.blocked++
+	ev.waiters = append(ev.waiters, p.wake)
 	p.yield()
 }
 
@@ -104,11 +143,9 @@ func (p *Proc) WaitGE(c *Counter, v int64) {
 	if c.v >= v {
 		return
 	}
-	p.k.blocked[p] = fmt.Sprintf("counter:%s>=%d", c.name, v)
-	c.wait(v, func() {
-		delete(p.k.blocked, p)
-		p.run()
-	})
+	p.waitC, p.waitGE = c, v
+	p.k.blocked++
+	c.wait(v, p.wake)
 	p.yield()
 }
 
