@@ -1,0 +1,163 @@
+// Command benchdiff compares two bgpbench reports (BENCH_SIM.json) and fails
+// when the candidate regresses on wall-clock. CI runs it with the committed
+// baseline as the reference, so a PR that slows the simulator down beyond the
+// threshold fails the build instead of silently eroding the perf budget.
+//
+//	benchdiff baseline.json candidate.json             # gate at the default 10%
+//	benchdiff -threshold 0.05 baseline.json new.json   # tighter gate
+//
+// Output is one row per experiment with the wall-clock delta; the exit status
+// is 1 when any experiment present in the baseline regressed beyond
+// -threshold (or is missing from the candidate), 2 on usage or decode errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+// report mirrors the subset of the bgpbench -benchjson schema benchdiff
+// needs; unknown fields are ignored so older reports still load.
+type report struct {
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Quick       bool    `json:"quick"`
+	GitCommit   string  `json:"git_commit"`
+	Timestamp   string  `json:"timestamp_utc"`
+	TotalMS     float64 `json:"total_ms"`
+	Experiments []struct {
+		ID     string  `json:"id"`
+		WallMS float64 `json:"wall_ms"`
+	} `json:"experiments"`
+}
+
+func (r *report) describe() string {
+	s := fmt.Sprintf("gomaxprocs=%d workers=%d", r.GoMaxProcs, r.Workers)
+	if r.Quick {
+		s += " quick"
+	}
+	if r.GitCommit != "" {
+		s += " commit=" + r.GitCommit
+	}
+	if r.Timestamp != "" {
+		s += " at=" + r.Timestamp
+	}
+	return s
+}
+
+func load(path string) (*report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// diffRow is one experiment's comparison. Ratio is candidate/baseline
+// wall-clock (>1 means slower); Missing marks a baseline experiment the
+// candidate did not run, which the gate treats as a regression.
+type diffRow struct {
+	ID        string
+	BaseMS    float64
+	CandMS    float64
+	Ratio     float64
+	Missing   bool
+	Regressed bool
+}
+
+// diff matches experiments by ID in baseline order and applies the gate:
+// an experiment regresses when its wall-clock grew by more than threshold
+// (a fraction, e.g. 0.10). Experiments only in the candidate are appended
+// informationally and never gate.
+func diff(base, cand *report, threshold float64) (rows []diffRow, regressed bool) {
+	candMS := make(map[string]float64, len(cand.Experiments))
+	for _, e := range cand.Experiments {
+		candMS[e.ID] = e.WallMS
+	}
+	seen := make(map[string]bool, len(base.Experiments))
+	for _, e := range base.Experiments {
+		seen[e.ID] = true
+		row := diffRow{ID: e.ID, BaseMS: e.WallMS}
+		if ms, ok := candMS[e.ID]; ok {
+			row.CandMS = ms
+			if e.WallMS > 0 {
+				row.Ratio = ms / e.WallMS
+			}
+			row.Regressed = row.Ratio > 1+threshold
+		} else {
+			row.Missing = true
+			row.Regressed = true
+		}
+		regressed = regressed || row.Regressed
+		rows = append(rows, row)
+	}
+	for _, e := range cand.Experiments {
+		if !seen[e.ID] {
+			rows = append(rows, diffRow{ID: e.ID, CandMS: e.WallMS})
+		}
+	}
+	return rows, regressed
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "regression gate: fail when an experiment's wall-clock grows by more than this fraction")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] baseline.json candidate.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err == nil {
+		var cand *report
+		cand, err = load(flag.Arg(1))
+		if err == nil {
+			os.Exit(run(os.Stdout, base, cand, *threshold))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+// run prints the comparison and returns the process exit code.
+func run(w *os.File, base, cand *report, threshold float64) int {
+	fmt.Fprintf(w, "baseline:  %s\ncandidate: %s\n\n", base.describe(), cand.describe())
+	rows, regressed := diff(base, cand, threshold)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\tbaseline ms\tcandidate ms\tratio\t")
+	for _, r := range rows {
+		switch {
+		case r.Missing:
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\tMISSING\n", r.ID, r.BaseMS)
+		case r.BaseMS == 0:
+			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\tnew\n", r.ID, r.CandMS)
+		default:
+			verdict := "ok"
+			if r.Regressed {
+				verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", threshold*100)
+			} else if r.Ratio < 1 {
+				verdict = fmt.Sprintf("%.2fx faster", 1/r.Ratio)
+			}
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.3f\t%s\n", r.ID, r.BaseMS, r.CandMS, r.Ratio, verdict)
+		}
+	}
+	tw.Flush()
+	if base.TotalMS > 0 && cand.TotalMS > 0 {
+		fmt.Fprintf(w, "\ntotal: %.1f ms -> %.1f ms (%.3fx)\n", base.TotalMS, cand.TotalMS, cand.TotalMS/base.TotalMS)
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: wall-clock regression beyond %.0f%% threshold\n", threshold*100)
+		return 1
+	}
+	return 0
+}

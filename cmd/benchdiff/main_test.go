@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func mkReport(pairs ...any) *report {
+	r := &report{}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Experiments = append(r.Experiments, struct {
+			ID     string  `json:"id"`
+			WallMS float64 `json:"wall_ms"`
+		}{ID: pairs[i].(string), WallMS: pairs[i+1].(float64)})
+	}
+	return r
+}
+
+func TestDiffGate(t *testing.T) {
+	base := mkReport("fig7", 1000.0, "fig8", 1000.0)
+	cases := []struct {
+		name      string
+		cand      *report
+		threshold float64
+		regressed bool
+	}{
+		{"identical", mkReport("fig7", 1000.0, "fig8", 1000.0), 0.10, false},
+		{"faster", mkReport("fig7", 500.0, "fig8", 900.0), 0.10, false},
+		{"within threshold", mkReport("fig7", 1090.0, "fig8", 1000.0), 0.10, false},
+		{"beyond threshold", mkReport("fig7", 1111.0, "fig8", 1000.0), 0.10, true},
+		{"tight threshold", mkReport("fig7", 1060.0, "fig8", 1000.0), 0.05, true},
+		{"missing experiment", mkReport("fig7", 1000.0), 0.10, true},
+		{"extra experiment never gates", mkReport("fig7", 1000.0, "fig8", 1000.0, "fig9", 9999.0), 0.10, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, regressed := diff(base, tc.cand, tc.threshold)
+			if regressed != tc.regressed {
+				t.Fatalf("regressed = %v, want %v (rows %+v)", regressed, tc.regressed, rows)
+			}
+			if len(rows) < len(base.Experiments) {
+				t.Fatalf("lost baseline rows: %+v", rows)
+			}
+		})
+	}
+}
+
+func TestDiffRowShape(t *testing.T) {
+	base := mkReport("fig7", 2000.0, "gone", 100.0)
+	cand := mkReport("fig7", 1000.0, "new", 50.0)
+	rows, regressed := diff(base, cand, 0.10)
+	if !regressed {
+		t.Fatal("missing baseline experiment must regress the gate")
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].Ratio != 0.5 || rows[0].Regressed {
+		t.Fatalf("fig7 row wrong: %+v", rows[0])
+	}
+	if !rows[1].Missing || !rows[1].Regressed {
+		t.Fatalf("gone row wrong: %+v", rows[1])
+	}
+	if rows[2].ID != "new" || rows[2].Regressed || rows[2].BaseMS != 0 {
+		t.Fatalf("new row wrong: %+v", rows[2])
+	}
+}

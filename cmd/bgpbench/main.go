@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -24,21 +25,41 @@ import (
 	"bgpcoll/internal/coll"
 )
 
-// benchReport is the BENCH_SIM.json schema: one record per run so the
-// perf trajectory is comparable across PRs.
+// benchReport is the BENCH_SIM.json schema: one record per run so the perf
+// trajectory is comparable across PRs. Every field is a resolved value, not a
+// flag as typed: workers is the actual pool width after the 0 = GOMAXPROCS
+// default, and ranks/iters are per-experiment because their defaults are
+// per-experiment (tree partitions default to 2 racks, torus to a midplane).
+// The commit and timestamp make a stored report attributable to a tree state.
 type benchReport struct {
 	GoMaxProcs  int               `json:"gomaxprocs"`
-	Workers     int               `json:"workers"` // 0 = GOMAXPROCS
-	Racks       int               `json:"racks"`
-	Iters       int               `json:"iters"`
+	Workers     int               `json:"workers"`
 	Quick       bool              `json:"quick"`
+	GitCommit   string            `json:"git_commit,omitempty"`
+	Timestamp   string            `json:"timestamp_utc"`
 	Experiments []experimentTimes `json:"experiments"`
 	TotalMS     float64           `json:"total_ms"`
 }
 
 type experimentTimes struct {
 	ID     string  `json:"id"`
+	Ranks  int     `json:"ranks"`
+	Iters  int     `json:"iters"`
 	WallMS float64 `json:"wall_ms"`
+}
+
+// gitCommit identifies the working tree for the report, tolerating trees
+// without git (an extracted tarball still benchmarks fine).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if dirty, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(dirty) > 0 {
+		commit += "-dirty"
+	}
+	return commit
 }
 
 func main() {
@@ -74,12 +95,16 @@ func main() {
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
+	workers := *par
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	report := benchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Workers:    *par,
-		Racks:      *racks,
-		Iters:      *iters,
+		Workers:    workers,
 		Quick:      *quick,
+		GitCommit:  gitCommit(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	totalStart := time.Now()
 	all := append(bench.Experiments(), bench.Ablations()...)
@@ -91,6 +116,9 @@ func main() {
 		if !selected {
 			continue
 		}
+		// Settle the previous experiment's garbage before the timer starts,
+		// so each wall-clock attributes GC debt to the run that created it.
+		runtime.GC()
 		start := time.Now()
 		fig, err := exp.Run(opts)
 		if err != nil {
@@ -100,6 +128,8 @@ func main() {
 		wall := time.Since(start)
 		report.Experiments = append(report.Experiments, experimentTimes{
 			ID:     exp.ID,
+			Ranks:  fig.Ranks,
+			Iters:  fig.Iters,
 			WallMS: float64(wall.Microseconds()) / 1e3,
 		})
 		if *csv {

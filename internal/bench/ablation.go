@@ -55,6 +55,8 @@ func AblationColors(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Torus+Shaddr 2M broadcast vs color count, %d ranks", cfg.Ranks()),
 		XLabel: "colors",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  cfg.Ranks(),
+		Iters:  1,
 		Sizes:  counts,
 	}
 	s := Series{Label: "Torus+Shaddr(2M)", Values: make([]float64, len(counts))}
@@ -90,6 +92,8 @@ func AblationChunk(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Torus+Shaddr 2M broadcast vs pipeline width, %d ranks", base.Ranks()),
 		XLabel: "Pwidth",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  base.Ranks(),
+		Iters:  1,
 		Sizes:  widths,
 	}
 	s := Series{Label: "Torus+Shaddr(2M)", Values: make([]float64, len(widths))}
@@ -128,6 +132,8 @@ func AblationFIFO(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Torus+FIFO 2M broadcast vs FIFO depth (%d B slots), %d ranks", base.Params.FIFOSlotBytes, base.Ranks()),
 		XLabel: "slots",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  base.Ranks(),
+		Iters:  1,
 		Sizes:  slotCounts,
 	}
 	s := Series{Label: "Torus+FIFO(2M)", Values: make([]float64, len(slotCounts))}

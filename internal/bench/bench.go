@@ -48,6 +48,12 @@ type Figure struct {
 	Title  string
 	XLabel string
 	YLabel string
+	// Ranks and Iters are the resolved experiment scale — the values actually
+	// used after per-experiment defaults are applied to Options — so a run
+	// report stays attributable without re-deriving option defaults. For
+	// scaling sweeps Ranks is the largest partition measured.
+	Ranks  int
+	Iters  int
 	Sizes  []int
 	Series []Series
 }

@@ -59,6 +59,8 @@ func Fig6(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Latency of MPI_Bcast, collective network, %d ranks", quad.Ranks()),
 		XLabel: "size",
 		YLabel: "latency (us)",
+		Ranks:  quad.Ranks(),
+		Iters:  iters,
 		Sizes:  sizes,
 	}
 	fig.Series, err = bcastGrid(o, []bcastRow{
@@ -94,6 +96,8 @@ func Fig7(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Bandwidth of MPI_Bcast, collective network, %d ranks", quad.Ranks()),
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  quad.Ranks(),
+		Iters:  iters,
 		Sizes:  sizes,
 	}
 	fig.Series, err = bcastGrid(o, []bcastRow{
@@ -129,6 +133,8 @@ func Fig8(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Overhead of system calls, %d ranks", cached.Ranks()),
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  cached.Ranks(),
+		Iters:  iters,
 		Sizes:  sizes,
 	}
 	fig.Series, err = bcastGrid(o, []bcastRow{
@@ -163,6 +169,8 @@ func Fig9(o Options) (*Figure, error) {
 		Title:  "Performance with increasing scale (CollectiveNetwork+Shaddr)",
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  geoms[len(geoms)-1].ranks,
+		Iters:  iters,
 		Sizes:  sizes,
 	}
 	rows := make([]bcastRow, len(geoms))
@@ -202,6 +210,8 @@ func Fig10(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Bandwidth of MPI_Bcast, 3D torus, %d ranks", quad.Ranks()),
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
+		Ranks:  quad.Ranks(),
+		Iters:  iters,
 		Sizes:  sizes,
 	}
 	fig.Series, err = bcastGrid(o, []bcastRow{
@@ -230,6 +240,8 @@ func Table1(o Options) (*Figure, error) {
 		Title:  fmt.Sprintf("Allreduce throughput (doubles), 3D torus, %d ranks", cfg.Ranks()),
 		XLabel: "doubles",
 		YLabel: "throughput (MB/s)",
+		Ranks:  cfg.Ranks(),
+		Iters:  iters,
 		Sizes:  doubleCounts,
 	}
 	rows := []struct {

@@ -69,11 +69,16 @@ func getTreeBcastState(r *mpi.Rank, seq int64, total int) *treeBcastState {
 // network's finite buffering.
 func injectAll(r *mpi.Rank, st *treeBcastState) {
 	net := r.Machine().Tree
+	p := r.Proc()
 	for i, span := range st.spans {
+		touch := net.TouchTime(span.Len)
 		if i >= injectWindow {
-			r.Proc().Wait(st.ops[i-injectWindow].Delivered())
+			pl := p.NewPlan()
+			pl.Sleep(touch)
+			p.WaitPlan(st.ops[i-injectWindow].Delivered(), pl)
+		} else {
+			p.Sleep(touch)
 		}
-		r.Proc().Sleep(net.TouchTime(span.Len))
 		st.ops[i].Inject()
 	}
 }
@@ -83,9 +88,11 @@ func injectAll(r *mpi.Rank, st *treeBcastState) {
 func receiveAll(r *mpi.Rank, st *treeBcastState) {
 	net := r.Machine().Tree
 	sw := st.sw[r.NodeID()]
+	p := r.Proc()
 	for i, span := range st.spans {
-		r.Proc().Wait(st.ops[i].Delivered())
-		r.Proc().Sleep(net.TouchTime(span.Len))
+		pl := p.NewPlan()
+		pl.Sleep(net.TouchTime(span.Len))
+		p.WaitPlan(st.ops[i].Delivered(), pl)
 		sw.Add(int64(span.Len))
 	}
 }
@@ -98,10 +105,21 @@ func receiveAll(r *mpi.Rank, st *treeBcastState) {
 // specialization removes. onRecv runs after each chunk's reception cost.
 func masterPump(r *mpi.Rank, st *treeBcastState, onRecv func(i int, span hw.Span)) {
 	net := r.Machine().Tree
+	p := r.Proc()
 	recvIdx := 0
 	recvOne := func() {
 		span := st.spans[recvIdx]
-		r.Proc().Sleep(net.TouchTime(span.Len))
+		p.Sleep(net.TouchTime(span.Len))
+		onRecv(recvIdx, span)
+		recvIdx++
+	}
+	// recvBlocked is recvOne behind a not-yet-delivered chunk: the wait and
+	// the reception packet-touch fuse into one parked stretch.
+	recvBlocked := func() {
+		span := st.spans[recvIdx]
+		pl := p.NewPlan()
+		pl.Sleep(net.TouchTime(span.Len))
+		p.WaitPlan(st.ops[recvIdx].Delivered(), pl)
 		onRecv(recvIdx, span)
 		recvIdx++
 	}
@@ -113,16 +131,14 @@ func masterPump(r *mpi.Rank, st *treeBcastState, onRecv func(i int, span hw.Span
 	for i, span := range st.spans {
 		// Injection back-pressure: the network buffers only a few chunks.
 		for i-recvIdx >= injectWindow {
-			r.Proc().Wait(st.ops[recvIdx].Delivered())
-			recvOne()
+			recvBlocked()
 		}
-		r.Proc().Sleep(net.TouchTime(span.Len)) // inject (data or zeros)
+		p.Sleep(net.TouchTime(span.Len)) // inject (data or zeros)
 		st.ops[i].Inject()
 		drain()
 	}
 	for recvIdx < len(st.spans) {
-		r.Proc().Wait(st.ops[recvIdx].Delivered())
-		recvOne()
+		recvBlocked()
 	}
 }
 
@@ -142,8 +158,9 @@ func bcastTreeSMP(r *mpi.Rank, buf data.Buf, root int) {
 	k.Spawn(fmt.Sprintf("rank%d.comm", r.Rank()), func(p *sim.Proc) {
 		net := rr.Machine().Tree
 		for i, span := range st.spans {
-			p.Wait(st.ops[i].Delivered())
-			p.Sleep(net.TouchTime(span.Len))
+			pl := p.NewPlan()
+			pl.Sleep(net.TouchTime(span.Len))
+			p.WaitPlan(st.ops[i].Delivered(), pl)
 		}
 		helperDone.Fire()
 	})
@@ -191,16 +208,17 @@ func bcastTreeShmem(r *mpi.Rank, buf data.Buf, root int) {
 func treePeerCopy(r *mpi.Rank, st *treeBcastState, root int, cached bool) {
 	sw := st.sw[r.NodeID()]
 	isRoot := r.Rank() == root
+	p := r.Proc()
+	node := r.Node().HW
 	got := int64(0)
-	for i, span := range st.spans {
+	for _, span := range st.spans {
 		got += int64(span.Len)
-		r.Proc().WaitGE(sw, got)
-		if isRoot {
-			continue
+		pl := p.NewPlan()
+		if !isRoot {
+			node.PlanPoll(pl)
+			node.PlanCopy(pl, span.Len, cached)
 		}
-		r.Node().HW.Poll(r.Proc())
-		r.Node().HW.Copy(r.Proc(), span.Len, cached)
-		_ = i
+		p.WaitGEPlan(sw, got, pl)
 	}
 	st.done[r.NodeID()].Add(1)
 }
@@ -243,15 +261,18 @@ func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool) {
 	} else {
 		cnt := st.peer[node][r.LocalRank()]
 		isRoot := r.Rank() == root
+		p := r.Proc()
+		hwNode := r.Node().HW
 		got := int64(0)
 		for _, span := range st.spans {
 			got += int64(span.Len)
-			r.Proc().WaitGE(cnt, got)
+			pl := p.NewPlan()
 			if fifo && !isRoot {
 				// Memory-FIFO reception needs a core copy into the
 				// application buffer.
-				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+				hwNode.PlanCopy(pl, span.Len, cached)
 			}
+			p.WaitGEPlan(cnt, got, pl)
 		}
 	}
 	if r.Rank() != root {
@@ -304,12 +325,16 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int) {
 			}
 			net := r.Machine().Tree
 			sw := st.sw[node]
+			p := r.Proc()
 			for i, span := range st.spans {
-				r.Proc().Wait(st.ops[i].Delivered())
-				r.Proc().Sleep(net.TouchTime(span.Len))
-				sw.Add(int64(span.Len))
+				pl := p.NewPlan()
+				pl.Sleep(net.TouchTime(span.Len))
+				pl.Add(sw, int64(span.Len))
 				if fillInjector {
-					r.Node().HW.Copy(r.Proc(), span.Len, cached)
+					r.Node().HW.PlanCopy(pl, span.Len, cached)
+				}
+				p.WaitPlan(st.ops[i].Delivered(), pl)
+				if fillInjector {
 					st.fill[node].Add(int64(span.Len))
 				}
 			}
@@ -326,20 +351,23 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int) {
 			r.CNK().Map(r.Proc(), windowKey(0, st.r0Buf[node]), total)
 		}
 		isRoot := r.Rank() == root
+		p := r.Proc()
+		hwNode := r.Node().HW
 		got := int64(0)
 		for _, span := range st.spans {
 			got += int64(span.Len)
-			r.Proc().WaitGE(sw, got)
-			r.Node().HW.Poll(r.Proc())
+			pl := p.NewPlan()
+			hwNode.PlanPoll(pl)
 			if !isRoot {
-				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+				hwNode.PlanCopy(pl, span.Len, cached)
 			}
 			if fillInjector {
 				// The extra copy into rank 0's buffer; memory bandwidth
 				// exceeds the tree's, so this does not throttle the flow.
-				r.Node().HW.Copy(r.Proc(), span.Len, cached)
-				st.fill[node].Add(int64(span.Len))
+				hwNode.PlanCopy(pl, span.Len, cached)
+				pl.Add(st.fill[node], int64(span.Len))
 			}
+			p.WaitGEPlan(sw, got, pl)
 		}
 		st.done[node].Add(1)
 

@@ -124,3 +124,15 @@ func (n *Node) coreMemOp(p *sim.Proc, bytes int, rate float64) sim.Time {
 // Poll advances p by the shared-memory poll/notify latency: the time for a
 // flag or counter update by one core to become visible to another.
 func (n *Node) Poll(p *sim.Proc) { p.Sleep(n.P.PollLatency) }
+
+// PlanCopy appends Copy to a fused step plan: the same bus reservation and
+// core occupation, executed while the process stays parked.
+func (n *Node) PlanCopy(pl *sim.Plan, bytes int, cached bool) {
+	if bytes <= 0 {
+		return
+	}
+	pl.Busy(n.Bus, bytes, sim.TransferTime(bytes, n.copyRate(cached)))
+}
+
+// PlanPoll appends Poll to a fused step plan.
+func (n *Node) PlanPoll(pl *sim.Plan) { pl.Sleep(n.P.PollLatency) }

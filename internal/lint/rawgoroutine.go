@@ -8,14 +8,15 @@ import (
 // sanctionedGoFiles maps a simulator-driven package to the one file in it
 // allowed to launch goroutines:
 //
-//   - internal/sim/proc.go: sim.Kernel.Spawn wraps each simulated process in
-//     a goroutine-backed coroutine, and the kernel hands the virtual CPU to
-//     exactly one of them at a time.
+//   - internal/sim/pool.go: the process worker pool launches the goroutines
+//     backing sim.Kernel.Spawn coroutines; a pooled worker only executes
+//     simulation code while holding the virtual-CPU token, and the kernel
+//     hands that token to exactly one goroutine at a time.
 //   - internal/bench/parallel.go: the sweep runner fans whole, independent
 //     simulations (one kernel per cell, results merged in fixed cell order)
 //     across a worker pool; no simulation state crosses goroutines.
 var sanctionedGoFiles = map[string]string{
-	"bgpcoll/internal/sim":   "proc.go",
+	"bgpcoll/internal/sim":   "pool.go",
 	"bgpcoll/internal/bench": "parallel.go",
 }
 

@@ -1,0 +1,19 @@
+package sim
+
+// This file mirrors the sanctioned launch site internal/sim/pool.go: the
+// analyzer exempts go statements here (and only here), because the process
+// worker pool launches the goroutines backing Kernel.Spawn coroutines and a
+// pooled worker only executes simulation code while holding the virtual-CPU
+// token.
+type poolWorker struct {
+	gate chan struct{}
+}
+
+func sanctionedPoolLaunch() *poolWorker {
+	w := &poolWorker{gate: make(chan struct{})}
+	go func() {
+		for range w.gate {
+		}
+	}()
+	return w
+}

@@ -1,8 +1,8 @@
 package sim
 
-// This file mirrors the sanctioned launch site internal/sim/proc.go: the
-// analyzer exempts go statements here (and only here), because Kernel.Spawn
-// wraps every simulated process in a goroutine-backed coroutine.
-func sanctionedSpawn(fn func()) {
-	go fn()
+// The sanctioned launch site moved from proc.go to pool.go when process
+// goroutines became pooled: Spawn now checks a worker out of the pool instead
+// of launching one, so a go statement reappearing here must be flagged.
+func spawnOutsidePool(fn func()) {
+	go fn() // want `raw go statement in a simulator-driven package`
 }

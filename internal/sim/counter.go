@@ -15,7 +15,7 @@ type Counter struct {
 
 type counterWait struct {
 	threshold int64
-	fn        func()
+	e         entry
 }
 
 // NewCounter returns a counter starting at zero.
@@ -50,13 +50,13 @@ func (c *Counter) Reset() {
 	c.v = 0
 }
 
-func (c *Counter) wait(threshold int64, fn func()) {
+func (c *Counter) wait(threshold int64, e entry) {
 	i := sort.Search(len(c.waiters), func(i int) bool {
 		return c.waiters[i].threshold > threshold
 	})
 	c.waiters = append(c.waiters, counterWait{})
 	copy(c.waiters[i+1:], c.waiters[i:])
-	c.waiters[i] = counterWait{threshold: threshold, fn: fn}
+	c.waiters[i] = counterWait{threshold: threshold, e: e}
 }
 
 func (c *Counter) release() {
@@ -68,7 +68,7 @@ func (c *Counter) release() {
 		return
 	}
 	for _, w := range c.waiters[:n] {
-		c.k.At(c.k.now, w.fn)
+		c.k.wake(w.e)
 	}
 	// Compact in place rather than re-slicing the front away: waking repeatedly
 	// would otherwise shrink capacity to zero and reallocate on every wait.
@@ -84,5 +84,5 @@ func (c *Counter) OnGE(v int64, fn func()) {
 		c.k.At(c.k.now, fn)
 		return
 	}
-	c.wait(v, fn)
+	c.wait(v, entry{fn: fn})
 }

@@ -8,7 +8,7 @@ type Event struct {
 	k       *Kernel
 	name    string
 	fired   bool
-	waiters []func()
+	waiters []entry // parked process resumes (Wait) and callbacks (OnFire)
 }
 
 // NewEvent returns an unfired event. The name appears in deadlock reports.
@@ -27,7 +27,7 @@ func (e *Event) Fire() {
 	}
 	e.fired = true
 	for _, w := range e.waiters {
-		e.k.At(e.k.now, w)
+		e.k.wake(w)
 	}
 	e.waiters = nil
 }
@@ -39,5 +39,5 @@ func (e *Event) OnFire(fn func()) {
 		e.k.At(e.k.now, fn)
 		return
 	}
-	e.waiters = append(e.waiters, fn)
+	e.waiters = append(e.waiters, entry{fn: fn})
 }

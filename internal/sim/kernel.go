@@ -6,6 +6,16 @@ import (
 	"strings"
 )
 
+// entry is one schedulable unit: a callback (fn != nil) or a process resume
+// (fn == nil, p != nil). A plan-attached wait (see plan.go) registers a
+// waiter with both set: fn is the plan continuation that runs on release, p
+// identifies the parked process for the blocked bookkeeping in wake and for
+// deadlock reports.
+type entry struct {
+	fn func()
+	p  *Proc
+}
+
 // Kernel is a deterministic discrete-event scheduler. The zero value is not
 // usable; create kernels with New.
 //
@@ -18,11 +28,42 @@ import (
 // every ring entry's seq is greater than that of any heap entry at the same
 // timestamp, so popping heap-at-now entries before ring entries reproduces
 // exactly the global (time, seq) order of a single priority queue.
+//
+// Exactly one goroutine executes simulation code at any moment: the holder
+// of the virtual-CPU token, passed by unbuffered channel sends. The kernel
+// goroutine holds it while popping entries and running callbacks; a process
+// holds it while its body runs. A yielding process that can see the next
+// runnable process (handoffTarget) passes the token directly — one channel
+// rendezvous instead of two — and the kernel goroutine is only woken (via
+// sched) when the clock must advance, a callback must run, the run ring is
+// empty, or the simulation failed. A token sender must not touch kernel
+// state after the send: the receiver owns it from that point on.
 type Kernel struct {
 	now     Time
 	queue   eventHeap
 	ring    runRing
 	running bool
+
+	// sched returns the virtual CPU to the kernel goroutine. Whichever
+	// process ends a direct-handoff chain sends here; Run receives once per
+	// process resume it initiated.
+	sched chan struct{}
+
+	// noHandoff forces every yield through the kernel goroutine (the
+	// pre-handoff two-rendezvous protocol). It exists for the determinism
+	// stress tests, which compare event orderings with and without the
+	// direct-handoff fast path.
+	noHandoff bool
+
+	// noFuse makes plan-attached waits run their steps through the ordinary
+	// process primitives instead of fused callbacks (see plan.go) — the
+	// reference semantics the determinism stress tests compare against.
+	noFuse bool
+
+	// fused is a process whose plan just completed on an instant step: next()
+	// resumes it before popping any further entry, preserving the queue
+	// position its unfused slice would have occupied.
+	fused *Proc
 
 	// procs lists every spawned process; each tracks its own blocked state.
 	// blocked counts processes currently waiting on an Event or Counter
@@ -32,11 +73,16 @@ type Kernel struct {
 	blocked int
 
 	failure error
+
+	// cbPanic holds the value of a callback panic captured on a process
+	// goroutine (see handoff); Run re-panics with it so callback panics
+	// crash Run exactly as they do when the kernel goroutine runs them.
+	cbPanic any
 }
 
 // New returns a kernel with the clock at zero.
 func New() *Kernel {
-	return &Kernel{}
+	return &Kernel{sched: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -49,14 +95,116 @@ func (k *Kernel) At(t Time, fn func()) {
 		if t < k.now {
 			panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 		}
-		k.ring.push(fn)
+		k.ring.push(entry{fn: fn})
 		return
 	}
-	k.queue.push(t, fn)
+	k.queue.push(t, entry{fn: fn})
 }
 
 // After schedules fn to run d after the current time.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// schedProc schedules p's next resume at absolute time t (>= now; timed
+// sleeps clamp negative durations before calling).
+func (k *Kernel) schedProc(t Time, p *Proc) {
+	if t <= k.now {
+		k.ring.push(entry{p: p})
+		return
+	}
+	k.queue.push(t, entry{p: p})
+}
+
+// schedStep schedules the continuation of p's plan (see plan.go) at absolute
+// time t, using the same now-vs-future placement rule as schedProc so the
+// entry lands exactly where the process's own resume would have.
+func (k *Kernel) schedStep(t Time, p *Proc) {
+	if t <= k.now {
+		k.ring.push(entry{fn: p.stepFn})
+		return
+	}
+	k.queue.push(t, entry{fn: p.stepFn})
+}
+
+// wake makes a released waiter runnable at the current instant. For process
+// waiters the blocked bookkeeping happens here, eagerly, so the queued entry
+// is a bare resume that any token holder may execute; the caller (Event.Fire,
+// Counter.release) always holds the token.
+func (k *Kernel) wake(w entry) {
+	if w.p != nil {
+		k.blocked--
+		w.p.waitEv, w.p.waitC = nil, nil
+	}
+	k.ring.push(w)
+}
+
+// next drives the scheduler under the caller's virtual-CPU token: it pops
+// entries in exact global (time, seq) order, runs callbacks inline, advances
+// the clock when the current instant is exhausted, and returns the first
+// process resume it reaches. nil means no runnable work remains (queues
+// drained, or the simulation failed). Both the kernel goroutine (Run) and a
+// yielding process (handoff) use this one decision sequence, so who holds
+// the token never changes what executes next.
+func (k *Kernel) next() *Proc {
+	for k.failure == nil {
+		// Heap entries at the current instant predate (in seq order) every
+		// ring entry, so they run first; otherwise the FIFO ring drains
+		// before the clock may advance to the heap's next timestamp.
+		var e entry
+		if n := len(k.queue.s); n > 0 && k.queue.s[0].t <= k.now {
+			e = k.queue.pop()
+		} else if !k.ring.empty() {
+			e = k.ring.pop()
+		} else if len(k.queue.s) > 0 {
+			k.now = k.queue.s[0].t
+			e = k.queue.pop()
+		} else {
+			break
+		}
+		if e.fn == nil {
+			return e.p
+		}
+		e.fn()
+		// A callback that completed a process's plan resumes that process
+		// immediately: its slice belongs at this exact queue position.
+		if p := k.fused; p != nil {
+			k.fused = nil
+			return p
+		}
+	}
+	return nil
+}
+
+// handoff is next() as invoked by a process (or an exiting pool worker)
+// still holding the token: one rendezvous hands the CPU straight to the
+// returned process, and the kernel goroutine stays parked. Disabled in
+// noHandoff mode. A callback panic is captured here rather than allowed to
+// unwind simulated process code (whose defers must not run for an unrelated
+// callback's bug): the simulation fails, the token returns to the kernel,
+// and Run re-panics with the original value.
+func (k *Kernel) handoff() (q *Proc) {
+	if k.noHandoff || k.failure != nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			k.cbPanic = r
+			k.fail(fmt.Errorf("sim: callback panicked: %v", r))
+			q = nil
+		}
+	}()
+	return k.next()
+}
+
+// abort surfaces a recorded failure: callback panics re-panic (they must
+// crash Run, as they do when the kernel goroutine runs the callback), and
+// process panics return as errors.
+func (k *Kernel) abort() error {
+	if r := k.cbPanic; r != nil {
+		k.cbPanic = nil
+		panic(r)
+	}
+	return k.failure
+}
 
 // Run executes events until the queue drains or a process fails. It returns
 // an error if a process panicked or if processes remain blocked with no
@@ -69,23 +217,20 @@ func (k *Kernel) Run() error {
 	defer func() { k.running = false }()
 
 	for {
-		// Heap entries at the current instant predate (in seq order) every
-		// ring entry, so they run first; otherwise the FIFO ring drains
-		// before the clock may advance to the heap's next timestamp.
-		var fn func()
-		if n := len(k.queue.s); n > 0 && k.queue.s[0].t <= k.now {
-			fn = k.queue.pop()
-		} else if !k.ring.empty() {
-			fn = k.ring.pop()
-		} else if n > 0 {
-			k.now = k.queue.s[0].t
-			fn = k.queue.pop()
-		} else {
+		p := k.next()
+		if k.failure != nil {
+			return k.abort()
+		}
+		if p == nil {
 			break
 		}
-		fn()
+		// Hand the virtual CPU to the process and park until some process —
+		// not necessarily this one, if the token travelled a direct-handoff
+		// chain — returns it.
+		p.gate <- struct{}{}
+		<-k.sched
 		if k.failure != nil {
-			return k.failure
+			return k.abort()
 		}
 	}
 	if k.blocked > 0 {
@@ -114,11 +259,11 @@ func (k *Kernel) fail(err error) {
 	}
 }
 
-// runRing is a growable FIFO ring buffer of same-instant callbacks. Push and
+// runRing is a growable FIFO ring buffer of same-instant entries. Push and
 // pop are a mask and an index increment; growth doubles and relinks the two
 // halves so FIFO order is preserved.
 type runRing struct {
-	buf  []func()
+	buf  []entry
 	head int
 	tail int // one past the last element; buf is full when len == cap-1 slots used
 	n    int
@@ -126,21 +271,21 @@ type runRing struct {
 
 func (r *runRing) empty() bool { return r.n == 0 }
 
-func (r *runRing) push(fn func()) {
+func (r *runRing) push(e entry) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[r.tail] = fn
+	r.buf[r.tail] = e
 	r.tail = (r.tail + 1) & (len(r.buf) - 1)
 	r.n++
 }
 
-func (r *runRing) pop() func() {
-	fn := r.buf[r.head]
-	r.buf[r.head] = nil
+func (r *runRing) pop() entry {
+	e := r.buf[r.head]
+	r.buf[r.head] = entry{}
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
-	return fn
+	return e
 }
 
 func (r *runRing) grow() {
@@ -148,18 +293,18 @@ func (r *runRing) grow() {
 	if size == 0 {
 		size = 64
 	}
-	next := make([]func(), size)
+	next := make([]entry, size)
 	m := copy(next, r.buf[r.head:])
 	copy(next[m:], r.buf[:r.head])
 	r.buf, r.head, r.tail = next, 0, r.n
 }
 
 // scheduled is one future event: its firing time, a global sequence number
-// breaking same-time ties FIFO, and the callback.
+// breaking same-time ties FIFO, and the entry to run.
 type scheduled struct {
 	t   Time
 	seq int64
-	fn  func()
+	e   entry
 }
 
 // eventHeap is a monomorphic 4-ary min-heap of scheduled entries ordered by
@@ -171,9 +316,9 @@ type eventHeap struct {
 	seq int64
 }
 
-func (h *eventHeap) push(t Time, fn func()) {
+func (h *eventHeap) push(t Time, ent entry) {
 	h.seq++
-	h.s = append(h.s, scheduled{t: t, seq: h.seq, fn: fn})
+	h.s = append(h.s, scheduled{t: t, seq: h.seq, e: ent})
 	// Sift up.
 	s := h.s
 	i := len(s) - 1
@@ -190,15 +335,15 @@ func (h *eventHeap) push(t Time, fn func()) {
 	s[i] = e
 }
 
-func (h *eventHeap) pop() func() {
+func (h *eventHeap) pop() entry {
 	s := h.s
-	fn := s[0].fn
+	top := s[0].e
 	n := len(s) - 1
 	e := s[n]
 	s[n] = scheduled{} // release the callback for GC
 	h.s = s[:n]
 	if n == 0 {
-		return fn
+		return top
 	}
 	// Sift down from the root.
 	s = h.s
@@ -228,5 +373,5 @@ func (h *eventHeap) pop() func() {
 		i = min
 	}
 	s[i] = e
-	return fn
+	return top
 }

@@ -5,27 +5,21 @@ import (
 	"runtime/debug"
 )
 
-// Proc is a simulated process: a goroutine-backed coroutine scheduled by the
-// kernel. Exactly one process body executes at a time, so process code may
-// freely touch shared simulation state without locking. A process consumes
-// virtual time only through Sleep, Wait, WaitGE, and Transfer.
+// Proc is a simulated process: a coroutine backed by a pooled goroutine
+// (see pool.go) and scheduled by the kernel. Exactly one process body
+// executes at a time, so process code may freely touch shared simulation
+// state without locking. A process consumes virtual time only through Sleep,
+// Wait, WaitGE, and Transfer.
 type Proc struct {
 	k    *Kernel
 	name string
 
-	// gate is the single rendezvous channel between the kernel and the
-	// process goroutine. Ownership of the virtual CPU strictly alternates:
-	// the kernel sends to hand the CPU to the process and then receives to
-	// take it back; the process receives to start running and sends to
-	// yield. With exactly one token in flight the unbuffered channel cannot
-	// mismatch sides.
+	// gate receives the virtual-CPU token: the kernel (or a directly
+	// handing-off peer process) sends to resume the process. The channel is
+	// owned by the backing pool worker and outlives the Proc; the Proc
+	// itself is a single-use handle, so no per-spawn state can leak across
+	// pool reuses.
 	gate chan struct{}
-
-	// run and wake are bound once at Spawn so the hot scheduling paths
-	// (Sleep, Wait, WaitGE and the kernel rendezvous itself) do not allocate
-	// a fresh closure per call.
-	run  func()
-	wake func()
 
 	// Blocked-on state for deadlock reporting. At most one is non-nil; the
 	// reason string is built lazily only when a deadlock is actually
@@ -35,53 +29,74 @@ type Proc struct {
 	waitGE int64
 
 	idx int // position in k.procs, for O(1) removal on exit
+
+	// plan is the reusable fused-step buffer (see plan.go); stepFn is the
+	// pre-bound plan continuation scheduled as a queue callback, allocated
+	// once on first NewPlan so plans add no per-step allocation.
+	plan   Plan
+	stepFn func()
+}
+
+// procPanicError formats a panic escaping process code — a process body or a
+// fused plan step — as the simulation failure Run reports.
+func procPanicError(name string, r any) error {
+	return fmt.Errorf("sim: process %s panicked: %v\n%s", name, r, debug.Stack())
 }
 
 // Spawn creates a process running fn and schedules its first execution at the
 // current virtual time. fn runs to completion unless it panics, which aborts
-// the whole simulation with an error from Kernel.Run.
+// the whole simulation with an error from Kernel.Run. The backing goroutine
+// comes from the shared worker pool, so repeated Kernel instances reuse
+// parked goroutines (and their grown stacks) instead of spawning fresh ones.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		k:    k,
-		name: name,
-		gate: make(chan struct{}),
-	}
-	p.run = func() {
-		p.gate <- struct{}{}
-		<-p.gate
-	}
-	p.wake = func() {
-		p.k.blocked--
-		p.waitEv, p.waitC = nil, nil
-		p.run()
-	}
+	p := &Proc{k: k, name: name}
+	w := getWorker()
+	p.gate = w.gate
+	w.p, w.fn = p, fn
 	p.idx = len(k.procs)
 	k.procs = append(k.procs, p)
-	go func() {
-		<-p.gate
-		defer func() {
-			if r := recover(); r != nil {
-				k.fail(fmt.Errorf("sim: process %s panicked: %v\n%s", name, r, debug.Stack()))
-			}
-			// The kernel is parked in p.run here, so kernel state is ours to
-			// touch: drop the finished process from the deadlock-report set.
-			last := len(k.procs) - 1
-			k.procs[p.idx] = k.procs[last]
-			k.procs[p.idx].idx = p.idx
-			k.procs[last] = nil
-			k.procs = k.procs[:last]
-			p.gate <- struct{}{}
-		}()
-		fn(p)
-	}()
-	k.ring.push(p.run)
+	k.ring.push(entry{p: p})
 	return p
 }
 
-// yield returns control to the kernel event loop and blocks the goroutine
-// until the next p.run.
+// exec runs the process body on its pool worker, converting panics into a
+// simulation failure and dropping the finished process from the deadlock-
+// report set. The worker still holds the virtual-CPU token throughout, so
+// kernel state is ours to touch; the token is passed on by the worker loop
+// immediately after exec returns.
+func (p *Proc) exec(fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.k.fail(procPanicError(p.name, r))
+		}
+		k := p.k
+		last := len(k.procs) - 1
+		k.procs[p.idx] = k.procs[last]
+		k.procs[p.idx].idx = p.idx
+		k.procs[last] = nil
+		k.procs = k.procs[:last]
+	}()
+	fn(p)
+}
+
+// yield releases the virtual CPU and blocks the goroutine until the next
+// resume. The yielding process first drives the scheduler itself (handoff):
+// callbacks due before the next process resume run right here, the clock
+// advances if needed, and the token then goes straight to the next runnable
+// process — one rendezvous, kernel goroutine not involved. If that process
+// is this one (e.g. a Sleep(0) queued behind nothing), yield keeps the CPU
+// and returns immediately. Only when no process is runnable (queues drained,
+// noHandoff mode, or failure) does the token return to the kernel.
 func (p *Proc) yield() {
-	p.gate <- struct{}{}
+	q := p.k.handoff()
+	if q == p {
+		return
+	}
+	if q != nil {
+		q.gate <- struct{}{}
+	} else {
+		p.k.sched <- struct{}{}
+	}
 	<-p.gate
 }
 
@@ -112,7 +127,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.At(p.k.now+d, p.run)
+	p.k.schedProc(p.k.now+d, p)
 	p.yield()
 }
 
@@ -122,7 +137,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t <= p.k.now {
 		return
 	}
-	p.k.At(t, p.run)
+	p.k.schedProc(t, p)
 	p.yield()
 }
 
@@ -134,7 +149,7 @@ func (p *Proc) Wait(ev *Event) {
 	}
 	p.waitEv = ev
 	p.k.blocked++
-	ev.waiters = append(ev.waiters, p.wake)
+	ev.waiters = append(ev.waiters, entry{p: p})
 	p.yield()
 }
 
@@ -145,7 +160,7 @@ func (p *Proc) WaitGE(c *Counter, v int64) {
 	}
 	p.waitC, p.waitGE = c, v
 	p.k.blocked++
-	c.wait(v, p.wake)
+	c.wait(v, entry{p: p})
 	p.yield()
 }
 

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The stress tests generate a randomized pipeline workload from a seed and
+// run it under every scheduling mode the kernel supports:
+//
+//   - direct handoff + fused plans (the production configuration)
+//   - noHandoff: every yield through the kernel goroutine (two rendezvous)
+//   - noFuse: plan-attached waits run through the ordinary primitives
+//   - both reference modes together
+//
+// The modes are pure transport/fusion changes; the (time, seq) event order
+// must be bit-identical, so the recorded traces must match exactly.
+
+type stressRec struct {
+	proc  int
+	round int
+	at    Time
+}
+
+// stressMode names one kernel scheduling configuration.
+type stressMode struct {
+	name      string
+	noHandoff bool
+	noFuse    bool
+}
+
+var stressModes = []stressMode{
+	{"handoff+fuse", false, false},
+	{"kernel-mediated", true, false},
+	{"unfused", false, true},
+	{"kernel-mediated+unfused", true, true},
+}
+
+// stressWorkload builds a deterministic random pipeline: proc 0 produces one
+// token per round (with random sleeps and pipe transfers in between), and
+// each later proc waits for its predecessor's token — randomly via a counter
+// threshold or a per-round event, randomly with a fused plan of random steps
+// or via the plain primitives — then performs its own random body and signals
+// its successor. Every random choice is drawn up-front from the seeded
+// source, so all modes execute the same program.
+func stressTrace(t *testing.T, seed int64, mode stressMode) []stressRec {
+	t.Helper()
+	const (
+		procs  = 12
+		rounds = 20
+	)
+	rng := rand.New(rand.NewSource(seed))
+	k := New()
+	k.noHandoff, k.noFuse = mode.noHandoff, mode.noFuse
+
+	pipes := []*Pipe{
+		k.NewPipe("busA", 2e9, 10*Nanosecond),
+		k.NewPipe("busB", 6.8e9, 0),
+	}
+	scratch := k.NewCounter("scratch")
+	tokens := make([]*Counter, procs)
+	evs := make([][]*Event, procs)
+	for i := range tokens {
+		tokens[i] = k.NewCounter(fmt.Sprintf("tok%d", i))
+		evs[i] = make([]*Event, rounds)
+		for r := range evs[i] {
+			evs[i][r] = k.NewEvent(fmt.Sprintf("ev%d.%d", i, r))
+		}
+	}
+
+	// Per-(proc, round) program, generated before any proc runs.
+	type roundProg struct {
+		useEvent  bool // wait on evs[i][r] instead of tokens[i-1] >= r+1
+		usePlan   bool // attach the steps as a fused plan
+		signalEv  bool // successor waits on an event this round
+		steps     []planStep
+		bodySleep Time
+		bodyPipe  int // -1: no transfer
+		bodyBytes int
+	}
+	prog := make([][]roundProg, procs)
+	for i := 0; i < procs; i++ {
+		prog[i] = make([]roundProg, rounds)
+		for r := 0; r < rounds; r++ {
+			p := &prog[i][r]
+			p.useEvent = rng.Intn(3) == 0
+			p.usePlan = rng.Intn(2) == 0
+			nsteps := rng.Intn(4)
+			for s := 0; s < nsteps; s++ {
+				switch rng.Intn(3) {
+				case 0:
+					p.steps = append(p.steps, planStep{kind: stepSleep, d: Time(rng.Intn(50)) * Nanosecond})
+				case 1:
+					p.steps = append(p.steps, planStep{
+						kind: stepBusy, pipe: pipes[rng.Intn(len(pipes))],
+						bytes: 256 + rng.Intn(8192), d: Time(rng.Intn(30)) * Nanosecond,
+					})
+				case 2:
+					// A fused Add to a side counter: exercises stepAdd (and
+					// its waiter release path) without perturbing the token
+					// protocol.
+					p.steps = append(p.steps, planStep{kind: stepAdd, c: scratch, n: 1})
+				}
+			}
+			p.bodySleep = Time(rng.Intn(40)) * Nanosecond
+			p.bodyPipe = rng.Intn(len(pipes)+1) - 1
+			p.bodyBytes = 512 + rng.Intn(4096)
+		}
+	}
+	// A proc's wait mode must agree with its predecessor's signal mode.
+	for i := 1; i < procs; i++ {
+		for r := 0; r < rounds; r++ {
+			prog[i-1][r].signalEv = prog[i][r].useEvent
+		}
+	}
+
+	var trace []stressRec
+	for i := 0; i < procs; i++ {
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				pr := &prog[i][r]
+				if i > 0 {
+					if pr.usePlan {
+						pl := p.NewPlan()
+						pl.steps = append(pl.steps, pr.steps...)
+						if pr.useEvent {
+							p.WaitPlan(evs[i][r], pl)
+						} else {
+							p.WaitGEPlan(tokens[i-1], int64(r+1), pl)
+						}
+					} else {
+						if pr.useEvent {
+							p.Wait(evs[i][r])
+						} else {
+							p.WaitGE(tokens[i-1], int64(r+1))
+						}
+						for s := range pr.steps {
+							st := &pr.steps[s]
+							switch st.kind {
+							case stepSleep:
+								p.Sleep(st.d)
+							case stepBusy:
+								done := st.pipe.Reserve(st.bytes)
+								if c := p.Now() + st.d; c > done {
+									done = c
+								}
+								p.SleepUntil(done)
+							case stepAdd:
+								st.c.Add(st.n)
+							}
+						}
+					}
+				}
+				p.Sleep(pr.bodySleep)
+				if pr.bodyPipe >= 0 {
+					p.Transfer(pipes[pr.bodyPipe], pr.bodyBytes)
+				}
+				trace = append(trace, stressRec{proc: i, round: r, at: p.Now()})
+				if i < procs-1 {
+					if pr.signalEv {
+						evs[i+1][r].Fire()
+					}
+					// The token always advances so counter-mode rounds after
+					// event-mode rounds still see threshold r+1.
+					tokens[i].Add(1)
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("seed %d mode %s: %v", seed, mode.name, err)
+	}
+	return trace
+}
+
+// TestStressModeEquivalence is the scheduler's determinism obligation: the
+// direct-handoff fast path and fused plans must not change what executes
+// when, only which goroutine drives it.
+func TestStressModeEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		base := stressTrace(t, seed, stressModes[0])
+		if len(base) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+		for _, mode := range stressModes[1:] {
+			got := stressTrace(t, seed, mode)
+			if len(got) != len(base) {
+				t.Fatalf("seed %d: %s trace has %d records, %s has %d",
+					seed, mode.name, len(got), stressModes[0].name, len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("seed %d: %s diverges from %s at record %d: %+v vs %+v",
+						seed, mode.name, stressModes[0].name, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStressRerunStable re-runs one workload in the production mode and
+// requires identical traces: pooled goroutine reuse across kernels must not
+// leak state into scheduling decisions.
+func TestStressRerunStable(t *testing.T) {
+	const seed = 42
+	a := stressTrace(t, seed, stressModes[0])
+	for rerun := 0; rerun < 3; rerun++ {
+		b := stressTrace(t, seed, stressModes[0])
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rerun %d diverges at record %d: %+v vs %+v", rerun, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDeadlockReportIdenticalAcrossModes deadlocks the same workload under
+// every mode: the report (which names each blocked process and what it waits
+// on) is part of the deterministic surface too.
+func TestDeadlockReportIdenticalAcrossModes(t *testing.T) {
+	build := func(mode stressMode) error {
+		k := New()
+		k.noHandoff, k.noFuse = mode.noHandoff, mode.noFuse
+		c := k.NewCounter("starved")
+		ev := k.NewEvent("missing")
+		k.Spawn("waiter.ev", func(p *Proc) {
+			p.Sleep(Nanosecond)
+			p.Wait(ev)
+		})
+		k.Spawn("waiter.ge", func(p *Proc) { p.WaitGE(c, 7) })
+		k.Spawn("waiter.plan", func(p *Proc) {
+			pl := p.NewPlan()
+			pl.Sleep(Nanosecond)
+			p.WaitGEPlan(c, 9, pl)
+		})
+		k.Spawn("finisher", func(p *Proc) {
+			p.Sleep(5 * Nanosecond)
+			c.Add(1)
+		})
+		return k.Run()
+	}
+	base := build(stressModes[0])
+	if base == nil {
+		t.Fatal("expected deadlock")
+	}
+	for _, want := range []string{"waiter.ev(event:missing)", "waiter.ge(counter:starved>=7)", "waiter.plan(counter:starved>=9)"} {
+		if !strings.Contains(base.Error(), want) {
+			t.Fatalf("deadlock report %q missing %q", base, want)
+		}
+	}
+	for _, mode := range stressModes[1:] {
+		if err := build(mode); err == nil || err.Error() != base.Error() {
+			t.Fatalf("%s deadlock report %q != %q", mode.name, err, base)
+		}
+	}
+}
+
+// TestPooledProcReuseAcrossKernels spins many short kernels so procs reuse
+// parked pool workers, then deadlocks one: stale worker state must neither
+// corrupt scheduling nor the deadlock report.
+func TestPooledProcReuseAcrossKernels(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		k := New()
+		c := k.NewCounter("c")
+		for j := 0; j < 20; j++ {
+			k.Spawn(fmt.Sprintf("s%d", j), func(p *Proc) {
+				p.Sleep(Time(j) * Nanosecond)
+				c.Add(1)
+			})
+		}
+		k.Spawn("sink", func(p *Proc) { p.WaitGE(c, 20) })
+		if err := k.Run(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if n := pooledWorkers(); n == 0 {
+		t.Fatal("no workers parked in the pool after repeated kernels")
+	}
+	k := New()
+	ev := k.NewEvent("nope")
+	k.Spawn("reused.stuck", func(p *Proc) { p.Wait(ev) })
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "reused.stuck(event:nope)") {
+		t.Fatalf("deadlock on a pooled proc misreported: %v", err)
+	}
+}
