@@ -6,9 +6,11 @@
 //	benchdiff baseline.json candidate.json             # gate at the default 10%
 //	benchdiff -threshold 0.05 baseline.json new.json   # tighter gate
 //
-// Output is one row per experiment with the wall-clock delta; the exit status
-// is 1 when any experiment present in the baseline regressed beyond
-// -threshold (or is missing from the candidate), 2 on usage or decode errors.
+// Output is one row per experiment with the wall-clock ratio and signed
+// percent delta, plus a whole-run total_ms comparison; the exit status is 1
+// when any experiment present in the baseline regressed beyond -threshold
+// (or is missing from the candidate), or when total_ms itself did, 2 on
+// usage or decode errors.
 package main
 
 import (
@@ -61,13 +63,15 @@ func load(path string) (*report, error) {
 }
 
 // diffRow is one experiment's comparison. Ratio is candidate/baseline
-// wall-clock (>1 means slower); Missing marks a baseline experiment the
-// candidate did not run, which the gate treats as a regression.
+// wall-clock (>1 means slower) and Pct the same delta as a signed percentage
+// (+ means slower); Missing marks a baseline experiment the candidate did not
+// run, which the gate treats as a regression.
 type diffRow struct {
 	ID        string
 	BaseMS    float64
 	CandMS    float64
 	Ratio     float64
+	Pct       float64
 	Missing   bool
 	Regressed bool
 }
@@ -89,6 +93,7 @@ func diff(base, cand *report, threshold float64) (rows []diffRow, regressed bool
 			row.CandMS = ms
 			if e.WallMS > 0 {
 				row.Ratio = ms / e.WallMS
+				row.Pct = (row.Ratio - 1) * 100
 			}
 			row.Regressed = row.Ratio > 1+threshold
 		} else {
@@ -104,6 +109,18 @@ func diff(base, cand *report, threshold float64) (rows []diffRow, regressed bool
 		}
 	}
 	return rows, regressed
+}
+
+// totalDelta compares the reports' whole-run wall-clock. ok is false when
+// either report predates the total_ms field (zero), in which case the total
+// never gates. Otherwise pct is the signed percent delta (+ means slower) and
+// regressed applies the same threshold the per-experiment gate uses.
+func totalDelta(base, cand *report, threshold float64) (pct float64, regressed, ok bool) {
+	if base.TotalMS <= 0 || cand.TotalMS <= 0 {
+		return 0, false, false
+	}
+	ratio := cand.TotalMS / base.TotalMS
+	return (ratio - 1) * 100, ratio > 1+threshold, true
 }
 
 func main() {
@@ -134,13 +151,13 @@ func run(w *os.File, base, cand *report, threshold float64) int {
 	fmt.Fprintf(w, "baseline:  %s\ncandidate: %s\n\n", base.describe(), cand.describe())
 	rows, regressed := diff(base, cand, threshold)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "experiment\tbaseline ms\tcandidate ms\tratio\t")
+	fmt.Fprintln(tw, "experiment\tbaseline ms\tcandidate ms\tratio\tdelta\t")
 	for _, r := range rows {
 		switch {
 		case r.Missing:
-			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\tMISSING\n", r.ID, r.BaseMS)
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\t-\tMISSING\n", r.ID, r.BaseMS)
 		case r.BaseMS == 0:
-			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\tnew\n", r.ID, r.CandMS)
+			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\t-\tnew\n", r.ID, r.CandMS)
 		default:
 			verdict := "ok"
 			if r.Regressed {
@@ -148,12 +165,14 @@ func run(w *os.File, base, cand *report, threshold float64) int {
 			} else if r.Ratio < 1 {
 				verdict = fmt.Sprintf("%.2fx faster", 1/r.Ratio)
 			}
-			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.3f\t%s\n", r.ID, r.BaseMS, r.CandMS, r.Ratio, verdict)
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.3f\t%+.1f%%\t%s\n", r.ID, r.BaseMS, r.CandMS, r.Ratio, r.Pct, verdict)
 		}
 	}
 	tw.Flush()
-	if base.TotalMS > 0 && cand.TotalMS > 0 {
-		fmt.Fprintf(w, "\ntotal: %.1f ms -> %.1f ms (%.3fx)\n", base.TotalMS, cand.TotalMS, cand.TotalMS/base.TotalMS)
+	if pct, totalRegressed, ok := totalDelta(base, cand, threshold); ok {
+		fmt.Fprintf(w, "\ntotal: %.1f ms -> %.1f ms (%.3fx, %+.1f%%)\n",
+			base.TotalMS, cand.TotalMS, cand.TotalMS/base.TotalMS, pct)
+		regressed = regressed || totalRegressed
 	}
 	if regressed {
 		fmt.Fprintf(w, "\nFAIL: wall-clock regression beyond %.0f%% threshold\n", threshold*100)

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func mkReport(pairs ...any) *report {
 	r := &report{}
@@ -37,6 +40,45 @@ func TestDiffGate(t *testing.T) {
 			}
 			if len(rows) < len(base.Experiments) {
 				t.Fatalf("lost baseline rows: %+v", rows)
+			}
+		})
+	}
+}
+
+func TestDiffPercentDelta(t *testing.T) {
+	base := mkReport("fig7", 2000.0, "fig8", 800.0)
+	cand := mkReport("fig7", 1000.0, "fig8", 1000.0)
+	rows, _ := diff(base, cand, 0.50)
+	if rows[0].Pct != -50.0 {
+		t.Fatalf("fig7 pct = %v, want -50", rows[0].Pct)
+	}
+	if rows[1].Pct != 25.0 {
+		t.Fatalf("fig8 pct = %v, want +25", rows[1].Pct)
+	}
+}
+
+func TestTotalDelta(t *testing.T) {
+	mk := func(total float64) *report { return &report{TotalMS: total} }
+	cases := []struct {
+		name       string
+		base, cand *report
+		threshold  float64
+		pct        float64
+		regressed  bool
+		ok         bool
+	}{
+		{"faster", mk(2000), mk(1000), 0.10, -50, false, true},
+		{"within threshold", mk(1000), mk(1050), 0.10, 5, false, true},
+		{"beyond threshold", mk(1000), mk(1200), 0.10, 20, true, true},
+		{"baseline predates total_ms", mk(0), mk(1000), 0.10, 0, false, false},
+		{"candidate missing total_ms", mk(1000), mk(0), 0.10, 0, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pct, regressed, ok := totalDelta(tc.base, tc.cand, tc.threshold)
+			if math.Abs(pct-tc.pct) > 1e-9 || regressed != tc.regressed || ok != tc.ok {
+				t.Fatalf("totalDelta = (%v, %v, %v), want (%v, %v, %v)",
+					pct, regressed, ok, tc.pct, tc.regressed, tc.ok)
 			}
 		})
 	}

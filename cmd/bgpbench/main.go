@@ -6,6 +6,7 @@
 //	bgpbench -racks 2            # torus experiments at full 2-rack scale
 //	bgpbench -quick              # trimmed message sweeps for a fast pass
 //	bgpbench -par 1              # serial sweep (default: GOMAXPROCS workers)
+//	bgpbench -reference          # goroutine reference mode (same virtual times)
 //	bgpbench -benchjson BENCH_SIM.json   # record per-figure wall-clock
 //	bgpbench -cpuprofile cpu.pprof       # profile the run
 package main
@@ -35,6 +36,7 @@ type benchReport struct {
 	GoMaxProcs  int               `json:"gomaxprocs"`
 	Workers     int               `json:"workers"`
 	Quick       bool              `json:"quick"`
+	Reference   bool              `json:"reference,omitempty"`
 	GitCommit   string            `json:"git_commit,omitempty"`
 	Timestamp   string            `json:"timestamp_utc"`
 	Experiments []experimentTimes `json:"experiments"`
@@ -69,13 +71,14 @@ func main() {
 	quick := flag.Bool("quick", false, "trim message-size sweeps")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	par := flag.Int("par", 0, "sweep worker count: cells fan across this many goroutines (0 = GOMAXPROCS, 1 = serial)")
+	reference := flag.Bool("reference", false, "run kernels in noProgram reference mode (rank bodies on pooled goroutines); virtual times are identical, only wall-clock differs")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times to this JSON file (BENCH_SIM.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	coll.Register()
-	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick, Workers: *par}
+	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick, Workers: *par, Reference: *reference}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -103,6 +106,7 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 		Quick:      *quick,
+		Reference:  *reference,
 		GitCommit:  gitCommit(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}

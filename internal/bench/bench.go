@@ -32,6 +32,10 @@ type Options struct {
 	// goroutines and merged in fixed cell order. 0 means GOMAXPROCS; 1
 	// forces the serial path.
 	Workers int
+	// Reference runs every kernel in noProgram reference mode: rank bodies
+	// execute on pooled goroutines instead of as inline programs. Virtual
+	// times are bit-identical either way; only wall-clock differs.
+	Reference bool
 }
 
 func (o Options) iters(def int) int {
@@ -147,52 +151,83 @@ func SizeLabel(n int) string {
 //	for i < ITERS { MPI_Barrier; start = MPI_Wtime; MPI_Bcast; elapsed += ... }
 //	elapsed_time /= ITERS
 func MeasureBcast(cfg hw.Config, algo string, msg, iters int) (sim.Time, error) {
+	return MeasureBcastMode(cfg, algo, msg, iters, false)
+}
+
+// MeasureBcastMode is MeasureBcast with an explicit execution mode: reference
+// puts the kernel in noProgram mode, running the identical rank bodies on
+// pooled goroutines. The measured virtual times are the same in both modes.
+func MeasureBcastMode(cfg hw.Config, algo string, msg, iters int, reference bool) (sim.Time, error) {
 	w, err := mpi.NewWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
 	w.Tunables.Bcast = algo
+	w.M.K.SetNoProgram(reference || !mpi.HasProgBcast(algo))
 	var worst sim.Time
-	_, err = w.Run(func(r *mpi.Rank) {
+	_, err = w.RunProgram(func(r *mpi.Rank) {
 		buf := r.NewBuf(msg)
 		var elapsed sim.Time
-		for i := 0; i < iters; i++ {
-			r.Barrier()
-			start := r.Now()
-			r.Bcast(buf, 0)
-			elapsed += r.Now() - start
+		var iter func(i int)
+		iter = func(i int) {
+			if i == iters {
+				avg := elapsed / sim.Time(iters)
+				if avg > worst {
+					worst = avg
+				}
+				return
+			}
+			r.BarrierThen(func() {
+				start := r.Now()
+				r.BcastThen(buf, 0, func() {
+					elapsed += r.Now() - start
+					iter(i + 1)
+				})
+			})
 		}
-		avg := elapsed / sim.Time(iters)
-		if avg > worst {
-			worst = avg
-		}
+		iter(0)
 	})
 	return worst, err
 }
 
 // MeasureAllreduce runs the micro-benchmark for one allreduce configuration.
 func MeasureAllreduce(cfg hw.Config, algo string, doubles, iters int) (sim.Time, error) {
+	return MeasureAllreduceMode(cfg, algo, doubles, iters, false)
+}
+
+// MeasureAllreduceMode is MeasureAllreduce with an explicit execution mode
+// (see MeasureBcastMode).
+func MeasureAllreduceMode(cfg hw.Config, algo string, doubles, iters int, reference bool) (sim.Time, error) {
 	w, err := mpi.NewWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
 	w.Tunables.Allreduce = algo
+	w.M.K.SetNoProgram(reference || !mpi.HasProgAllreduce(algo))
 	bytes := doubles * data.Float64Len
 	var worst sim.Time
-	_, err = w.Run(func(r *mpi.Rank) {
+	_, err = w.RunProgram(func(r *mpi.Rank) {
 		send := r.NewBuf(bytes)
 		recv := r.NewBuf(bytes)
 		var elapsed sim.Time
-		for i := 0; i < iters; i++ {
-			r.Barrier()
-			start := r.Now()
-			r.AllreduceSum(send, recv)
-			elapsed += r.Now() - start
+		var iter func(i int)
+		iter = func(i int) {
+			if i == iters {
+				avg := elapsed / sim.Time(iters)
+				if avg > worst {
+					worst = avg
+				}
+				return
+			}
+			r.BarrierThen(func() {
+				start := r.Now()
+				r.AllreduceSumThen(send, recv, func() {
+					elapsed += r.Now() - start
+					iter(i + 1)
+				})
+			})
 		}
-		avg := elapsed / sim.Time(iters)
-		if avg > worst {
-			worst = avg
-		}
+		iter(0)
 	})
 	return worst, err
 }

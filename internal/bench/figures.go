@@ -28,7 +28,7 @@ func bcastGrid(o Options, rows []bcastRow, sizes []int, iters int, toValue func(
 	}
 	err := parallelEach(o.Workers, len(rows)*len(sizes), func(i int) error {
 		r, s := i/len(sizes), i%len(sizes)
-		t, err := MeasureBcast(rows[r].Cfg, rows[r].Algo, sizes[s], iters)
+		t, err := MeasureBcastMode(rows[r].Cfg, rows[r].Algo, sizes[s], iters, o.Reference)
 		if err != nil {
 			return fmt.Errorf("%s @ %s: %w", rows[r].Label, SizeLabel(sizes[s]), err)
 		}
@@ -258,7 +258,7 @@ func Table1(o Options) (*Figure, error) {
 	err = parallelEach(o.Workers, len(rows)*len(doubleCounts), func(i int) error {
 		r, s := i/len(doubleCounts), i%len(doubleCounts)
 		doubles := doubleCounts[s]
-		t, err := MeasureAllreduce(cfg, rows[r].algo, doubles, iters)
+		t, err := MeasureAllreduceMode(cfg, rows[r].algo, doubles, iters, o.Reference)
 		if err != nil {
 			return err
 		}

@@ -188,6 +188,49 @@ func TestGoldenDigests(t *testing.T) {
 	}
 }
 
+// TestGoldenProgramReferenceAgree pins the tentpole equivalence at the bench
+// layer: every golden algorithm must measure the identical virtual time
+// whether its ranks run as inline programs or as pooled goroutines
+// (reference mode). Wall-clock is the only permitted difference.
+func TestGoldenProgramReferenceAgree(t *testing.T) {
+	cfg := goldenConfig(hw.Quad)
+	smp := goldenConfig(hw.SMP)
+	for _, algo := range []string{
+		mpi.BcastTreeShmem, mpi.BcastTreeSMP, mpi.BcastTreeDMAFIFO,
+		mpi.BcastTreeDMADirect, mpi.BcastTreeShaddr,
+		mpi.BcastTorusShaddr, mpi.BcastTorusFIFO, mpi.BcastTorusDirectPut,
+	} {
+		c := cfg
+		if algo == mpi.BcastTreeSMP {
+			c = smp
+		}
+		prog, err := MeasureBcastMode(c, algo, 64<<10, 2, false)
+		if err != nil {
+			t.Fatalf("%s program mode: %v", algo, err)
+		}
+		ref, err := MeasureBcastMode(c, algo, 64<<10, 2, true)
+		if err != nil {
+			t.Fatalf("%s reference mode: %v", algo, err)
+		}
+		if prog != ref {
+			t.Errorf("%s: program %d ps, reference %d ps", algo, int64(prog), int64(ref))
+		}
+	}
+	for _, algo := range []string{mpi.AllreduceTorusNew, mpi.AllreduceTorusCurrent} {
+		prog, err := MeasureAllreduceMode(cfg, algo, 4096, 1, false)
+		if err != nil {
+			t.Fatalf("%s program mode: %v", algo, err)
+		}
+		ref, err := MeasureAllreduceMode(cfg, algo, 4096, 1, true)
+		if err != nil {
+			t.Fatalf("%s reference mode: %v", algo, err)
+		}
+		if prog != ref {
+			t.Errorf("%s: program %d ps, reference %d ps", algo, int64(prog), int64(ref))
+		}
+	}
+}
+
 // TestGoldenRerunStable guards the digest harness itself: two in-process
 // computations must agree, independent of the committed file.
 func TestGoldenRerunStable(t *testing.T) {

@@ -62,6 +62,28 @@ func NewProcess(n *hw.Node, localRank int) *Process {
 // call pays the full system-call cost again, reproducing the "nocaching"
 // curve of Fig. 8.
 func (w *Process) Map(p *sim.Proc, key BufferKey, bytes int) int {
+	calls := w.mapRegions(key, bytes)
+	if calls > 0 {
+		p.Sleep(sim.Time(calls) * w.node.P.SyscallTime)
+	}
+	return calls
+}
+
+// MapThen is the explicit-resume form of Map: cont runs after the system-call
+// cost (immediately when every region is already resident).
+func (w *Process) MapThen(p *sim.Proc, key BufferKey, bytes int, cont func()) {
+	calls := w.mapRegions(key, bytes)
+	if calls > 0 {
+		p.SleepThen(sim.Time(calls)*w.node.P.SyscallTime, cont)
+		return
+	}
+	cont()
+}
+
+// mapRegions performs the TLB-slot bookkeeping of Map — residency checks,
+// LRU updates, insertions, statistics — and returns the system calls issued,
+// without consuming the virtual time they cost.
+func (w *Process) mapRegions(key BufferKey, bytes int) int {
 	if key.OwnerLocalRank == w.localRank {
 		return 0 // own memory needs no window
 	}
@@ -86,10 +108,7 @@ func (w *Process) Map(p *sim.Proc, key BufferKey, bytes int) int {
 	if hit {
 		w.CacheHits++
 	}
-	if calls > 0 {
-		w.Syscalls += int64(calls)
-		p.Sleep(sim.Time(calls) * params.SyscallTime)
-	}
+	w.Syscalls += int64(calls)
 	return calls
 }
 

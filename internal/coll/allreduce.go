@@ -10,6 +10,11 @@ import (
 	"bgpcoll/internal/sim"
 )
 
+// Both allreduce algorithms are written in explicit-resume (program) style:
+// recursive continuation closures replace the blocking chunk loops, so
+// program-mode ranks run them without goroutines while goroutine-backed
+// ranks execute the identical bodies synchronously.
+
 // allreduceColors is the color count of the torus allreduce: the reduce
 // phase runs on the reversed-direction links of each color's broadcast tree,
 // so only the three positive-direction colors can run concurrently (§V-C).
@@ -111,20 +116,31 @@ func startAllreduceNetwork(r *mpi.Rank, st *allreduceState, bytes int) {
 	st.exec.Run()
 }
 
+// allreduceFinish builds the completion continuation both algorithms end
+// with: install the reduced result, release the shared state (the position
+// the blocking form's defer ran at), then continue.
+func allreduceFinish(r *mpi.Rank, st *allreduceState, seq int64, recv data.Buf, done func()) func() {
+	return func() {
+		installPayload(recv, st.result[r.NodeID()])
+		r.ReleaseWorldShared(seq, allreduceKind)
+		done()
+	}
+}
+
 // allreduceShaddr is the proposed algorithm (paper §V-C): core 0 runs the
 // network protocol; cores 1..3 each locally reduce one color partition of
 // the four application buffers through process windows, feeding the network
 // pipeline chunk by chunk, and later copy the full result into their own
 // buffers.
-func allreduceShaddr(r *mpi.Rank, send, recv data.Buf) {
+func allreduceShaddr(r *mpi.Rank, send, recv data.Buf, done func()) {
 	seq := r.NextSeq()
 	bytes := send.Len()
 	st := getAllreduceState(r, seq, bytes, 1)
-	defer r.ReleaseWorldShared(seq, allreduceKind)
 	m := r.Machine()
 	node := r.NodeID()
 	ppn := r.LocalSize()
 	cached := r.Node().HW.Cached((2*ppn + 2) * bytes)
+	finish := allreduceFinish(r, st, seq, recv, done)
 
 	st.sends[r.Rank()] = send
 	st.ready[node].Add(1)
@@ -134,7 +150,7 @@ func allreduceShaddr(r *mpi.Rank, send, recv data.Buf) {
 	}
 
 	if ppn == 1 {
-		allreduceSMPRank(r, st, bytes, send, recv)
+		allreduceSMPRankThen(r, st, bytes, send, finish)
 		return
 	}
 
@@ -145,7 +161,7 @@ func allreduceShaddr(r *mpi.Rank, send, recv data.Buf) {
 	case 0:
 		// Protocol core: the ccmi schedule charges its combine work to
 		// st.proto[node]; the rank just owns the result buffer and waits.
-		r.Proc().WaitGE(del.Counter, int64(bytes))
+		r.Proc().WaitGEThen(del.Counter, int64(bytes), finish)
 
 	default:
 		color := lr - 1
@@ -153,46 +169,96 @@ func allreduceShaddr(r *mpi.Rank, send, recv data.Buf) {
 			color = allreduceColors - 1 // quad mode has exactly 3 peers
 		}
 		part := lens[color]
-		// Wait for all local ranks to enter (their buffers must be
-		// readable) and map the three peer send buffers.
-		r.Proc().WaitGE(st.ready[node], int64(ppn))
-		for p := 0; p < ppn; p++ {
-			if p != lr {
-				r.CNK().Map(r.Proc(), windowKey(p, st.sends[r.RankOf(node, p)]), bytes)
+		p := r.Proc()
+
+		// Phase closures, innermost first. drainCopy copies the full
+		// reduced result from the master's receive buffer into this rank's
+		// buffer as it arrives.
+		drainCopy := func() {
+			spanIdx := 0
+			var outer func(seen int)
+			outer = func(seen int) {
+				if seen >= bytes {
+					finish()
+					return
+				}
+				p.WaitGEThen(del.Counter, int64(seen)+1, func() {
+					r.Node().HW.PollThen(p, func() {
+						spans := del.Drain(&spanIdx)
+						var copyNext func(j, seen int)
+						copyNext = func(j, seen int) {
+							if j == len(spans) {
+								outer(seen)
+								return
+							}
+							r.Node().HW.CopyThen(p, spans[j].Len, cached, func() {
+								copyNext(j+1, seen+spans[j].Len)
+							})
+						}
+						copyNext(0, seen)
+					})
+				})
 			}
+			outer(0)
 		}
-		// Local reduce of this color's partition, pipelined chunk by
-		// chunk into the network schedule: sum the four application
-		// buffers (three accumulation passes).
-		for _, chunk := range m.Cfg.Params.Chunks(part) {
-			r.Node().HW.Reduce(r.Proc(), (ppn-1)*chunk.Len, cached)
-			foldLocal(st, r, node, offs[color]+chunk.Off, chunk.Len)
-			st.contrib[node][color].Add(int64(chunk.Len))
-		}
-		// Feed any colors without an owning core (fewer peers than
-		// colors cannot happen in quad mode; guard for dual).
-		if lr == ppn-1 {
-			for c := ppn - 1; c < allreduceColors; c++ {
-				for _, chunk := range m.Cfg.Params.Chunks(lens[c]) {
-					r.Node().HW.Reduce(r.Proc(), (ppn-1)*chunk.Len, cached)
+		// reduceColor pipelines one color partition chunk by chunk into the
+		// network schedule: sum the four application buffers (three
+		// accumulation passes).
+		reduceColor := func(c, part int, k func()) {
+			chunks := m.Cfg.Params.Chunks(part)
+			var step func(j int)
+			step = func(j int) {
+				if j == len(chunks) {
+					k()
+					return
+				}
+				chunk := chunks[j]
+				r.Node().HW.ReduceThen(p, (ppn-1)*chunk.Len, cached, func() {
 					foldLocal(st, r, node, offs[c]+chunk.Off, chunk.Len)
 					st.contrib[node][c].Add(int64(chunk.Len))
+					step(j + 1)
+				})
+			}
+			step(0)
+		}
+		// Feed any colors without an owning core (fewer peers than colors
+		// cannot happen in quad mode; guard for dual).
+		extraColors := func(k func()) {
+			if lr != ppn-1 {
+				k()
+				return
+			}
+			var next func(c int)
+			next = func(c int) {
+				if c >= allreduceColors {
+					k()
+					return
 				}
+				reduceColor(c, lens[c], func() { next(c + 1) })
 			}
+			next(ppn - 1)
 		}
-		// Copy the full reduced result from the master's receive buffer
-		// into this rank's buffer as it arrives.
-		spanIdx := 0
-		for seen := 0; seen < bytes; {
-			r.Proc().WaitGE(del.Counter, int64(seen)+1)
-			r.Node().HW.Poll(r.Proc())
-			for _, span := range del.Drain(&spanIdx) {
-				r.Node().HW.Copy(r.Proc(), span.Len, cached)
-				seen += span.Len
+
+		// Wait for all local ranks to enter (their buffers must be
+		// readable) and map the three peer send buffers.
+		p.WaitGEThen(st.ready[node], int64(ppn), func() {
+			var mapNext func(pi int)
+			mapNext = func(pi int) {
+				if pi >= ppn {
+					reduceColor(color, part, func() { extraColors(drainCopy) })
+					return
+				}
+				if pi == lr {
+					mapNext(pi + 1)
+					return
+				}
+				r.CNK().MapThen(p, windowKey(pi, st.sends[r.RankOf(node, pi)]), bytes, func() {
+					mapNext(pi + 1)
+				})
 			}
-		}
+			mapNext(0)
+		})
 	}
-	installPayload(recv, st.result[node])
 }
 
 // foldLocal installs the functional node-local sum for one byte range of the
@@ -221,14 +287,14 @@ func foldLocal(st *allreduceState, r *mpi.Rank, node, off, n int) {
 // reduce and broadcast phases move every buffer through the DMA, and the
 // master core performs both the local reduction and the network protocol —
 // the two contention points the shared-address design removes.
-func allreduceCurrent(r *mpi.Rank, send, recv data.Buf) {
+func allreduceCurrent(r *mpi.Rank, send, recv data.Buf, done func()) {
 	seq := r.NextSeq()
 	bytes := send.Len()
 	st := getAllreduceState(r, seq, bytes, 2)
-	defer r.ReleaseWorldShared(seq, allreduceKind)
 	m := r.Machine()
 	node := r.NodeID()
 	ppn := r.LocalSize()
+	finish := allreduceFinish(r, st, seq, recv, done)
 
 	st.sends[r.Rank()] = send
 	st.ready[node].Add(1)
@@ -238,7 +304,7 @@ func allreduceCurrent(r *mpi.Rank, send, recv data.Buf) {
 	}
 
 	if ppn == 1 {
-		allreduceSMPRank(r, st, bytes, send, recv)
+		allreduceSMPRankThen(r, st, bytes, send, finish)
 		return
 	}
 
@@ -246,6 +312,7 @@ func allreduceCurrent(r *mpi.Rank, send, recv data.Buf) {
 	del := st.dels[node]
 	chunks := m.Cfg.Params.Chunks(bytes)
 	cached := r.Node().HW.Cached((2*ppn + 2) * bytes)
+	p := r.Proc()
 
 	// Local reduce: a pipelined chain through the cores. Rank ppn-1's data
 	// is DMA-copied into rank ppn-2's staging, that core adds its own data
@@ -256,58 +323,90 @@ func allreduceCurrent(r *mpi.Rank, send, recv data.Buf) {
 	lr := r.LocalRank()
 	if lr == ppn-1 {
 		// Chain head: ship own chunks to the next core.
-		r.Proc().WaitGE(st.ready[node], int64(ppn))
-		for _, chunk := range chunks {
-			putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
-			cnt := st.stage[node][lr-1]
-			n := int64(chunk.Len)
-			m.K.At(putDone, func() { cnt.Add(n) })
-			r.Proc().SleepUntil(putDone)
-		}
-		r.Proc().WaitGE(st.peer[node][lr], int64(bytes))
+		p.WaitGEThen(st.ready[node], int64(ppn), func() {
+			var step func(j int)
+			step = func(j int) {
+				if j == len(chunks) {
+					p.WaitGEThen(st.peer[node][lr], int64(bytes), finish)
+					return
+				}
+				chunk := chunks[j]
+				putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
+				cnt := st.stage[node][lr-1]
+				n := int64(chunk.Len)
+				m.K.At(putDone, func() { cnt.Add(n) })
+				p.SleepUntilThen(putDone, func() { step(j + 1) })
+			}
+			step(0)
+		})
 	} else if lr > 0 {
 		// Chain middle: combine the inbound partial with own data and
 		// forward.
-		got := int64(0)
-		for _, chunk := range chunks {
-			got += int64(chunk.Len)
-			r.Proc().WaitGE(st.stage[node][lr], got)
-			r.Node().HW.Reduce(r.Proc(), chunk.Len, cached)
-			putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
-			cnt := st.stage[node][lr-1]
-			n := int64(chunk.Len)
-			m.K.At(putDone, func() { cnt.Add(n) })
+		var step func(j int, got int64)
+		step = func(j int, got int64) {
+			if j == len(chunks) {
+				p.WaitGEThen(st.peer[node][lr], int64(bytes), finish)
+				return
+			}
+			chunk := chunks[j]
+			g := got + int64(chunk.Len)
+			p.WaitGEThen(st.stage[node][lr], g, func() {
+				r.Node().HW.ReduceThen(p, chunk.Len, cached, func() {
+					putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
+					cnt := st.stage[node][lr-1]
+					n := int64(chunk.Len)
+					m.K.At(putDone, func() { cnt.Add(n) })
+					step(j+1, g)
+				})
+			})
 		}
-		r.Proc().WaitGE(st.peer[node][lr], int64(bytes))
+		step(0, 0)
 	} else {
 		// Master: final accumulation on the protocol core, then the DMA
 		// distributes arriving results to the peers.
-		got := int64(0)
-		done := 0
-		for _, chunk := range chunks {
-			got += int64(chunk.Len)
-			r.Proc().WaitGE(st.stage[node][0], got)
-			reduceDone := st.proto[node].Reserve(chunk.Len)
-			r.Proc().SleepUntil(reduceDone)
-			foldLocal(st, r, node, chunk.Off, chunk.Len)
-			done += chunk.Len
-			feedContribAbsolute(st, node, done, offs, lens)
-		}
-		spanIdx := 0
-		for seen := 0; seen < bytes; {
-			r.Proc().WaitGE(del.Counter, int64(seen)+1)
-			for _, span := range del.Drain(&spanIdx) {
-				for p := 1; p < ppn; p++ {
-					putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
-					cnt := st.peer[node][p]
-					n := int64(span.Len)
-					m.K.At(putDone, func() { cnt.Add(n) })
+		distribute := func() {
+			spanIdx := 0
+			var outer func(seen int)
+			outer = func(seen int) {
+				if seen >= bytes {
+					finish()
+					return
 				}
-				seen += span.Len
+				p.WaitGEThen(del.Counter, int64(seen)+1, func() {
+					for _, span := range del.Drain(&spanIdx) {
+						for pi := 1; pi < ppn; pi++ {
+							putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
+							cnt := st.peer[node][pi]
+							n := int64(span.Len)
+							m.K.At(putDone, func() { cnt.Add(n) })
+						}
+						seen += span.Len
+					}
+					outer(seen)
+				})
 			}
+			outer(0)
 		}
+		var step func(j int, got int64, acc int)
+		step = func(j int, got int64, acc int) {
+			if j == len(chunks) {
+				distribute()
+				return
+			}
+			chunk := chunks[j]
+			g := got + int64(chunk.Len)
+			p.WaitGEThen(st.stage[node][0], g, func() {
+				reduceDone := st.proto[node].Reserve(chunk.Len)
+				p.SleepUntilThen(reduceDone, func() {
+					foldLocal(st, r, node, chunk.Off, chunk.Len)
+					a := acc + chunk.Len
+					feedContribAbsolute(st, node, a, offs, lens)
+					step(j+1, g, a)
+				})
+			})
+		}
+		step(0, 0, 0)
 	}
-	installPayload(recv, st.result[node])
 }
 
 // feedContribAbsolute translates linear local-reduce progress (bytes from
@@ -327,9 +426,10 @@ func feedContribAbsolute(st *allreduceState, node, done int, offs, lens []int) {
 	}
 }
 
-// allreduceSMPRank is the SMP-mode path shared by both algorithms: one rank
-// per node contributes its buffer directly and waits for the result.
-func allreduceSMPRank(r *mpi.Rank, st *allreduceState, bytes int, send, recv data.Buf) {
+// allreduceSMPRankThen is the SMP-mode path shared by both algorithms: one
+// rank per node contributes its buffer directly and waits for the result.
+// finish installs the payload and releases the shared state.
+func allreduceSMPRankThen(r *mpi.Rank, st *allreduceState, bytes int, send data.Buf, finish func()) {
 	node := r.NodeID()
 	_, lens := geometry.SplitAligned(bytes, allreduceColors, data.Float64Len)
 	// The node contribution is the send buffer itself; install it and
@@ -340,6 +440,5 @@ func allreduceSMPRank(r *mpi.Rank, st *allreduceState, bytes int, send, recv dat
 	for c := 0; c < allreduceColors; c++ {
 		st.contrib[node][c].Add(int64(lens[c]))
 	}
-	r.Proc().WaitGE(st.dels[node].Counter, int64(bytes))
-	installPayload(recv, st.result[node])
+	r.Proc().WaitGEThen(st.dels[node].Counter, int64(bytes), finish)
 }

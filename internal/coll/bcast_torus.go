@@ -10,6 +10,11 @@ import (
 	"bgpcoll/internal/sim"
 )
 
+// The torus broadcasts are written in explicit-resume (program) style like
+// the tree algorithms: recursive continuation closures replace the blocking
+// loops, so program-mode ranks run them without goroutines while
+// goroutine-backed ranks execute the identical bodies synchronously.
+
 // torusBcastState is the job-wide shared state of one torus broadcast: the
 // per-node network delivery logs plus the intra-node coordination counters
 // each algorithm variant needs.
@@ -54,6 +59,19 @@ func getTorusBcastState(r *mpi.Rank, seq int64) *torusBcastState {
 	}).(*torusBcastState)
 }
 
+// torusFinish builds the completion continuation every torus broadcast ends
+// with: install the payload on non-root ranks, release the shared state (the
+// position the blocking form's defer ran at), then continue.
+func torusFinish(r *mpi.Rank, st *torusBcastState, seq int64, buf data.Buf, root int, done func()) func() {
+	return func() {
+		if r.Rank() != root {
+			installPayload(buf, st.src)
+		}
+		r.ReleaseWorldShared(seq, torusBcastKind)
+		done()
+	}
+}
+
 // startTorusNetwork launches the multi-color rectangle broadcast from the
 // root rank's node. Called by the root rank only.
 func startTorusNetwork(r *mpi.Rank, st *torusBcastState, buf data.Buf, hook func(node int, span hw.Span, t sim.Time)) {
@@ -76,23 +94,17 @@ func startTorusNetwork(r *mpi.Rank, st *torusBcastState, buf data.Buf, hook func
 	b.Run()
 }
 
-// waitNodeDelivery blocks until this rank's node has received the full
-// message over the network.
-func waitNodeDelivery(r *mpi.Rank, st *torusBcastState, total int) {
-	r.Proc().WaitGE(st.dels[r.NodeID()].Counter, int64(total))
-}
-
 // bcastTorusDirectPut is the current production algorithm (paper §V-A): the
 // DMA performs the network transfer, and in quad mode also the fourth,
 // intra-node dimension of the spanning tree — three additional local direct
 // puts per delivered chunk, all contending on the same engine.
-func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int) {
+func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	seq := r.NextSeq()
 	st := getTorusBcastState(r, seq)
-	defer r.ReleaseWorldShared(seq, torusBcastKind)
 	total := buf.Len()
 	m := r.Machine()
 	ppn := r.LocalSize()
+	finish := torusFinish(r, st, seq, buf, root, done)
 
 	if r.Rank() == root {
 		hook := func(node int, span hw.Span, t sim.Time) {
@@ -106,12 +118,10 @@ func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int) {
 	}
 
 	if r.IsNodeMaster() {
-		waitNodeDelivery(r, st, total)
+		// Block until this rank's node has received the full message.
+		r.Proc().WaitGEThen(st.dels[r.NodeID()].Counter, int64(total), finish)
 	} else {
-		r.Proc().WaitGE(st.peer[r.NodeID()][r.LocalRank()], int64(total))
-	}
-	if r.Rank() != root {
-		installPayload(buf, st.src)
+		r.Proc().WaitGEThen(st.peer[r.NodeID()][r.LocalRank()], int64(total), finish)
 	}
 }
 
@@ -120,12 +130,12 @@ func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int) {
 // mirrors the DMA byte counters into a software message counter; peers copy
 // newly arrived ranges directly out of the master's buffer through process
 // windows; an atomic completion counter returns the buffer to the master.
-func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int) {
+func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	seq := r.NextSeq()
 	st := getTorusBcastState(r, seq)
-	defer r.ReleaseWorldShared(seq, torusBcastKind)
 	total := buf.Len()
 	node := r.NodeID()
+	finish := torusFinish(r, st, seq, buf, root, done)
 
 	if r.Rank() == root {
 		startTorusNetwork(r, st, buf, nil)
@@ -137,17 +147,25 @@ func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int) {
 		del := st.dels[node]
 		sw := st.sw[node]
 		spanIdx := 0
-		for got := 0; got < total; {
-			r.Proc().WaitGE(del.Counter, int64(got)+1)
-			batch := sumSpanLens(del.Drain(&spanIdx))
-			got += batch
-			// Mirror the hardware counter into the shared software
-			// counter the peers poll.
-			r.Node().HW.Poll(r.Proc())
-			sw.Add(int64(batch))
+		var pump func(got int)
+		pump = func(got int) {
+			if got >= total {
+				// The master may reuse its buffer once every peer has
+				// copied out.
+				r.Proc().WaitGEThen(st.done[node], int64(r.LocalSize()-1), finish)
+				return
+			}
+			r.Proc().WaitGEThen(del.Counter, int64(got)+1, func() {
+				batch := sumSpanLens(del.Drain(&spanIdx))
+				// Mirror the hardware counter into the shared software
+				// counter the peers poll.
+				r.Node().HW.PollThen(r.Proc(), func() {
+					sw.Add(int64(batch))
+					pump(got + batch)
+				})
+			})
 		}
-		// The master may reuse its buffer once every peer has copied out.
-		r.Proc().WaitGE(st.done[node], int64(r.LocalSize()-1))
+		pump(0)
 
 	default:
 		sw := st.sw[node]
@@ -155,29 +173,44 @@ func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int) {
 		if r.Rank() == root {
 			// A non-master root already holds the data; it only signals.
 			st.done[node].Add(1)
-			break
+			finish()
+			return
 		}
 		// The first published range also tells us the master has arrived
 		// and its buffer is registered; map it once.
-		r.Proc().WaitGE(sw, 1)
-		r.CNK().Map(r.Proc(), windowKey(0, st.masterBuf[node]), total)
-		cached := quadBcastFootprint(r, total)
-		spanIdx := 0
-		for seen := 0; seen < total; {
-			r.Proc().WaitGE(sw, int64(seen)+1)
-			r.Node().HW.Poll(r.Proc())
-			avail := int(sw.Value())
-			for spanIdx < len(del.Spans) && seen < avail {
-				span := del.Spans[spanIdx]
-				spanIdx++
-				r.Node().HW.Copy(r.Proc(), span.Len, cached)
-				seen += span.Len
-			}
-		}
-		st.done[node].Add(1)
-	}
-	if r.Rank() != root {
-		installPayload(buf, st.src)
+		r.Proc().WaitGEThen(sw, 1, func() {
+			r.CNK().MapThen(r.Proc(), windowKey(0, st.masterBuf[node]), total, func() {
+				cached := quadBcastFootprint(r, total)
+				spanIdx := 0
+				var outer func(seen int)
+				outer = func(seen int) {
+					if seen >= total {
+						st.done[node].Add(1)
+						finish()
+						return
+					}
+					r.Proc().WaitGEThen(sw, int64(seen)+1, func() {
+						r.Node().HW.PollThen(r.Proc(), func() {
+							avail := int(sw.Value())
+							var copyNext func(seen int)
+							copyNext = func(seen int) {
+								if spanIdx < len(del.Spans) && seen < avail {
+									span := del.Spans[spanIdx]
+									spanIdx++
+									r.Node().HW.CopyThen(r.Proc(), span.Len, cached, func() {
+										copyNext(seen + span.Len)
+									})
+									return
+								}
+								outer(seen)
+							}
+							copyNext(seen)
+						})
+					})
+				}
+				outer(0)
+			})
+		})
 	}
 }
 
@@ -185,10 +218,9 @@ func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int) {
 // master packetizes chunks received in its application buffer into the
 // concurrent broadcast FIFO (data plus connection-id metadata per slot); the
 // three peers dequeue every slot. FIFO capacity provides back-pressure.
-func bcastTorusFIFO(r *mpi.Rank, buf data.Buf, root int) {
+func bcastTorusFIFO(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	seq := r.NextSeq()
 	st := getTorusBcastState(r, seq)
-	defer r.ReleaseWorldShared(seq, torusBcastKind)
 	total := buf.Len()
 	node := r.NodeID()
 	params := r.Machine().Cfg.Params
@@ -198,6 +230,7 @@ func bcastTorusFIFO(r *mpi.Rank, buf data.Buf, root int) {
 	// effective working set is twice the shared-address scheme's; large
 	// messages fall out of the cache earlier.
 	cached := r.Node().HW.Cached(2 * r.LocalSize() * total)
+	finish := torusFinish(r, st, seq, buf, root, done)
 
 	if r.Rank() == root {
 		startTorusNetwork(r, st, buf, nil)
@@ -207,54 +240,89 @@ func bcastTorusFIFO(r *mpi.Rank, buf data.Buf, root int) {
 	case r.IsNodeMaster():
 		del := st.dels[node]
 		enq := st.enq[node]
-		enqueued := 0
-		for enqueued < total {
-			r.Proc().WaitGE(del.Counter, int64(enqueued)+1)
-			avail := int(del.Counter.Value())
-			for enqueued < avail {
-				piece := slot
-				if avail-enqueued < piece {
-					piece = avail - enqueued
-				}
-				// Space check: every peer must have drained far enough
-				// that a slot is free (myslot - head < fifoSize).
-				if thr := int64(enqueued + piece - capacity); thr > 0 {
-					for p := 1; p < r.LocalSize(); p++ {
-						r.Proc().WaitGE(st.peer[node][p], thr)
-					}
-				}
+		var outer func(enqueued int)
+		var slots func(enqueued, avail int)
+		outer = func(enqueued int) {
+			if enqueued >= total {
+				r.Proc().WaitGEThen(st.done[node], int64(r.LocalSize()-1), finish)
+				return
+			}
+			r.Proc().WaitGEThen(del.Counter, int64(enqueued)+1, func() {
+				slots(enqueued, int(del.Counter.Value()))
+			})
+		}
+		slots = func(enqueued, avail int) {
+			if enqueued >= avail {
+				outer(enqueued)
+				return
+			}
+			piece := slot
+			if avail-enqueued < piece {
+				piece = avail - enqueued
+			}
+			enqueue := func() {
 				// Copy data and metadata into the reserved slot.
-				r.Node().HW.Copy(r.Proc(), piece, cached)
-				enq.Add(int64(piece))
-				enqueued += piece
+				r.Node().HW.CopyThen(r.Proc(), piece, cached, func() {
+					enq.Add(int64(piece))
+					slots(enqueued+piece, avail)
+				})
+			}
+			// Space check: every peer must have drained far enough that a
+			// slot is free (myslot - head < fifoSize).
+			if thr := int64(enqueued + piece - capacity); thr > 0 {
+				var waitPeers func(p int)
+				waitPeers = func(p int) {
+					if p >= r.LocalSize() {
+						enqueue()
+						return
+					}
+					r.Proc().WaitGEThen(st.peer[node][p], thr, func() { waitPeers(p + 1) })
+				}
+				waitPeers(1)
+			} else {
+				enqueue()
 			}
 		}
-		r.Proc().WaitGE(st.done[node], int64(r.LocalSize()-1))
+		outer(0)
 
 	default:
 		enq := st.enq[node]
 		consumed := st.peer[node][r.LocalRank()]
 		isRoot := r.Rank() == root
-		for seen := 0; seen < total; {
-			r.Proc().WaitGE(enq, int64(seen)+1)
-			avail := int(enq.Value())
-			for seen < avail {
-				piece := slot
-				if avail-seen < piece {
-					piece = avail - seen
-				}
-				if !isRoot {
-					r.Node().HW.Poll(r.Proc())
-					r.Node().HW.Copy(r.Proc(), piece, cached)
-				}
+		var outer func(seen int)
+		var slots func(seen, avail int)
+		outer = func(seen int) {
+			if seen >= total {
+				st.done[node].Add(1)
+				finish()
+				return
+			}
+			r.Proc().WaitGEThen(enq, int64(seen)+1, func() {
+				slots(seen, int(enq.Value()))
+			})
+		}
+		slots = func(seen, avail int) {
+			if seen >= avail {
+				outer(seen)
+				return
+			}
+			piece := slot
+			if avail-seen < piece {
+				piece = avail - seen
+			}
+			after := func() {
 				// The last arriving reader's decrement frees the slot.
 				consumed.Add(int64(piece))
-				seen += piece
+				slots(seen+piece, avail)
 			}
+			if !isRoot {
+				r.Node().HW.PollThen(r.Proc(), func() {
+					r.Node().HW.CopyThen(r.Proc(), piece, cached, after)
+				})
+				return
+			}
+			after()
 		}
-		st.done[node].Add(1)
-	}
-	if r.Rank() != root {
-		installPayload(buf, st.src)
+		outer(0)
 	}
 }

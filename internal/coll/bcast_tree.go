@@ -10,6 +10,14 @@ import (
 	"bgpcoll/internal/tree"
 )
 
+// The collective-network broadcasts below are written in explicit-resume
+// (program) style: every loop is a recursive continuation closure and every
+// blocking primitive is its *Then form, so a rank running them needs no
+// goroutine. The same bodies ARE the blocking algorithms — on a
+// goroutine-backed rank each *Then operation blocks and calls its
+// continuation synchronously — so there is exactly one transcription of each
+// protocol (see sim/program.go and DESIGN.md §11).
+
 // injectWindow bounds how many chunks an injecting core may run ahead of
 // delivery, modeling the collective network's limited buffering.
 const injectWindow = 4
@@ -63,183 +71,248 @@ func getTreeBcastState(r *mpi.Rank, seq int64, total int) *treeBcastState {
 	}).(*treeBcastState)
 }
 
-// injectAll drives one node's injection side: the root's injector feeds the
-// payload, every other node's injector feeds zeros into the global OR
+// treeFinish builds the completion continuation every tree broadcast ends
+// with: install the payload on non-root ranks, release the shared state (the
+// position the blocking form's defer ran at), then continue.
+func treeFinish(r *mpi.Rank, st *treeBcastState, seq int64, buf data.Buf, root int, done func()) func() {
+	return func() {
+		if r.Rank() != root {
+			installPayload(buf, st.src)
+		}
+		r.ReleaseWorldShared(seq, treeBcastKind)
+		done()
+	}
+}
+
+// injectAllThen drives one node's injection side: the root's injector feeds
+// the payload, every other node's injector feeds zeros into the global OR
 // (paper §V-B). Injection is windowed against delivery to model the
 // network's finite buffering.
-func injectAll(r *mpi.Rank, st *treeBcastState) {
+func injectAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
 	net := r.Machine().Tree
 	p := r.Proc()
-	for i, span := range st.spans {
-		touch := net.TouchTime(span.Len)
+	var step func(i int)
+	step = func(i int) {
+		if i == len(st.spans) {
+			cont()
+			return
+		}
+		touch := net.TouchTime(st.spans[i].Len)
+		after := func() {
+			st.ops[i].Inject()
+			step(i + 1)
+		}
 		if i >= injectWindow {
 			pl := p.NewPlan()
 			pl.Sleep(touch)
-			p.WaitPlan(st.ops[i-injectWindow].Delivered(), pl)
+			p.WaitPlanThen(st.ops[i-injectWindow].Delivered(), pl, after)
 		} else {
-			p.Sleep(touch)
+			p.SleepThen(touch, after)
 		}
-		st.ops[i].Inject()
 	}
+	step(0)
 }
 
-// receiveAll drives one node's reception side, paying the core packet-touch
-// cost per chunk and publishing progress to the node's software counter.
-func receiveAll(r *mpi.Rank, st *treeBcastState) {
+// receiveAllThen drives one node's reception side, paying the core
+// packet-touch cost per chunk and publishing progress to the node's software
+// counter.
+func receiveAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
 	net := r.Machine().Tree
 	sw := st.sw[r.NodeID()]
 	p := r.Proc()
-	for i, span := range st.spans {
+	var step func(i int)
+	step = func(i int) {
+		if i == len(st.spans) {
+			cont()
+			return
+		}
+		span := st.spans[i]
 		pl := p.NewPlan()
 		pl.Sleep(net.TouchTime(span.Len))
-		p.WaitPlan(st.ops[i].Delivered(), pl)
-		sw.Add(int64(span.Len))
+		p.WaitPlanThen(st.ops[i].Delivered(), pl, func() {
+			sw.Add(int64(span.Len))
+			step(i + 1)
+		})
 	}
+	step(0)
 }
 
-// masterPump drives both sides of the collective network on a single core,
-// the way the production quad-mode algorithms do: the core alternates
+// masterPumpThen drives both sides of the collective network on a single
+// core, the way the production quad-mode algorithms do: the core alternates
 // between injecting the next chunk and draining any chunks the network has
 // delivered (paying a packet-touch each way), so chunk latency overlaps but
 // the core's throughput halves — the imbalance the shared-address core
-// specialization removes. onRecv runs after each chunk's reception cost.
-func masterPump(r *mpi.Rank, st *treeBcastState, onRecv func(i int, span hw.Span)) {
+// specialization removes. onRecv runs after each chunk's reception cost and
+// must call k exactly once when its own work completes.
+func masterPumpThen(r *mpi.Rank, st *treeBcastState, onRecv func(i int, span hw.Span, k func()), cont func()) {
 	net := r.Machine().Tree
 	p := r.Proc()
 	recvIdx := 0
-	recvOne := func() {
-		span := st.spans[recvIdx]
-		p.Sleep(net.TouchTime(span.Len))
-		onRecv(recvIdx, span)
-		recvIdx++
+	recvOne := func(k func()) {
+		i := recvIdx
+		span := st.spans[i]
+		p.SleepThen(net.TouchTime(span.Len), func() {
+			onRecv(i, span, func() {
+				recvIdx++
+				k()
+			})
+		})
 	}
 	// recvBlocked is recvOne behind a not-yet-delivered chunk: the wait and
 	// the reception packet-touch fuse into one parked stretch.
-	recvBlocked := func() {
-		span := st.spans[recvIdx]
+	recvBlocked := func(k func()) {
+		i := recvIdx
+		span := st.spans[i]
 		pl := p.NewPlan()
 		pl.Sleep(net.TouchTime(span.Len))
-		p.WaitPlan(st.ops[recvIdx].Delivered(), pl)
-		onRecv(recvIdx, span)
-		recvIdx++
+		p.WaitPlanThen(st.ops[i].Delivered(), pl, func() {
+			onRecv(i, span, func() {
+				recvIdx++
+				k()
+			})
+		})
 	}
-	drain := func() {
-		for recvIdx < len(st.spans) && st.ops[recvIdx].Delivered().Fired() {
-			recvOne()
+	var drain func(k func())
+	drain = func(k func()) {
+		if recvIdx < len(st.spans) && st.ops[recvIdx].Delivered().Fired() {
+			recvOne(func() { drain(k) })
+			return
 		}
+		k()
 	}
-	for i, span := range st.spans {
+	var tail func()
+	tail = func() {
+		if recvIdx < len(st.spans) {
+			recvBlocked(tail)
+			return
+		}
+		cont()
+	}
+	var inject func(i int)
+	inject = func(i int) {
+		if i == len(st.spans) {
+			tail()
+			return
+		}
 		// Injection back-pressure: the network buffers only a few chunks.
-		for i-recvIdx >= injectWindow {
-			recvBlocked()
+		if i-recvIdx >= injectWindow {
+			recvBlocked(func() { inject(i) })
+			return
 		}
-		p.Sleep(net.TouchTime(span.Len)) // inject (data or zeros)
-		st.ops[i].Inject()
-		drain()
+		span := st.spans[i]
+		p.SleepThen(net.TouchTime(span.Len), func() { // inject (data or zeros)
+			st.ops[i].Inject()
+			drain(func() { inject(i + 1) })
+		})
 	}
-	for recvIdx < len(st.spans) {
-		recvBlocked()
-	}
+	inject(0)
 }
 
 // bcastTreeSMP is the current SMP-mode algorithm (paper §V-B): the main
 // thread injects while a helper communication thread receives, together
 // saturating the collective network.
-func bcastTreeSMP(r *mpi.Rank, buf data.Buf, root int) {
+func bcastTreeSMP(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	seq := r.NextSeq()
 	st := getTreeBcastState(r, seq, buf.Len())
-	defer r.ReleaseWorldShared(seq, treeBcastKind)
 	if r.Rank() == root {
 		st.src = buf
 	}
 	k := r.Machine().K
 	helperDone := k.NewEvent(fmt.Sprintf("treebc%d.helper%d", seq, r.Rank()))
-	rr := r
-	k.Spawn(fmt.Sprintf("rank%d.comm", r.Rank()), func(p *sim.Proc) {
-		net := rr.Machine().Tree
-		for i, span := range st.spans {
+	k.SpawnProgram(fmt.Sprintf("rank%d.comm", r.Rank()), func(p *sim.Proc) {
+		net := r.Machine().Tree
+		var step func(i int)
+		step = func(i int) {
+			if i == len(st.spans) {
+				helperDone.Fire()
+				return
+			}
 			pl := p.NewPlan()
-			pl.Sleep(net.TouchTime(span.Len))
-			p.WaitPlan(st.ops[i].Delivered(), pl)
+			pl.Sleep(net.TouchTime(st.spans[i].Len))
+			p.WaitPlanThen(st.ops[i].Delivered(), pl, func() { step(i + 1) })
 		}
-		helperDone.Fire()
+		step(0)
 	})
-	injectAll(r, st)
-	r.Proc().Wait(helperDone)
-	if r.Rank() != root {
-		installPayload(buf, st.src)
-	}
+	finish := treeFinish(r, st, seq, buf, root, done)
+	injectAllThen(r, st, func() {
+		r.Proc().WaitThen(helperDone, finish)
+	})
 }
 
 // bcastTreeShmem is the quad-mode latency algorithm (paper §V-B): the master
 // core injects and receives into a shared-memory segment, serialized on one
 // core; peers copy the data out of the segment.
-func bcastTreeShmem(r *mpi.Rank, buf data.Buf, root int) {
+func bcastTreeShmem(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	seq := r.NextSeq()
 	st := getTreeBcastState(r, seq, buf.Len())
-	defer r.ReleaseWorldShared(seq, treeBcastKind)
 	if r.Rank() == root {
 		st.src = buf
 	}
 
 	node := r.NodeID()
 	cached := quadBcastFootprint(r, buf.Len())
+	finish := treeFinish(r, st, seq, buf, root, done)
 
 	if r.IsNodeMaster() {
 		sw := st.sw[node]
-		masterPump(r, st, func(i int, span hw.Span) {
+		masterPumpThen(r, st, func(i int, span hw.Span, k func()) {
 			sw.Add(int64(span.Len))
 			if r.Rank() != root {
 				// The master's own buffer needs the data too: a third
 				// byte-touch on the same core.
-				r.Node().HW.Copy(r.Proc(), span.Len, cached)
+				r.Node().HW.CopyThen(r.Proc(), span.Len, cached, k)
+				return
 			}
-		})
+			k()
+		}, finish)
 	} else {
-		treePeerCopy(r, st, root, cached)
-	}
-	if r.Rank() != root {
-		installPayload(buf, st.src)
+		treePeerCopyThen(r, st, root, cached, finish)
 	}
 }
 
-// treePeerCopy is the peer-side copy loop shared by the shmem and shaddr
+// treePeerCopyThen is the peer-side copy loop shared by the shmem and shaddr
 // algorithms: wait on the node's software counter and copy arrived chunks.
-func treePeerCopy(r *mpi.Rank, st *treeBcastState, root int, cached bool) {
+func treePeerCopyThen(r *mpi.Rank, st *treeBcastState, root int, cached bool, cont func()) {
 	sw := st.sw[r.NodeID()]
 	isRoot := r.Rank() == root
 	p := r.Proc()
 	node := r.Node().HW
-	got := int64(0)
-	for _, span := range st.spans {
+	var step func(i int, got int64)
+	step = func(i int, got int64) {
+		if i == len(st.spans) {
+			st.done[r.NodeID()].Add(1)
+			cont()
+			return
+		}
+		span := st.spans[i]
 		got += int64(span.Len)
 		pl := p.NewPlan()
 		if !isRoot {
 			node.PlanPoll(pl)
 			node.PlanCopy(pl, span.Len, cached)
 		}
-		p.WaitGEPlan(sw, got, pl)
+		g := got
+		p.WaitGEPlanThen(sw, g, pl, func() { step(i+1, g) })
 	}
-	st.done[r.NodeID()].Add(1)
+	step(0, 0)
 }
 
 // bcastTreeDMAFIFO is the current quad-mode algorithm: the master core
 // injects and receives; the DMA then moves the data to the peers' memory
 // FIFOs, from which each peer's core copies into its application buffer.
-func bcastTreeDMAFIFO(r *mpi.Rank, buf data.Buf, root int) {
-	treeDMACommon(r, buf, root, true)
+func bcastTreeDMAFIFO(r *mpi.Rank, buf data.Buf, root int, done func()) {
+	treeDMACommon(r, buf, root, true, done)
 }
 
 // bcastTreeDMADirect is the current quad-mode variant where the DMA
 // direct-puts into the peers' application buffers, skipping the FIFO copy.
-func bcastTreeDMADirect(r *mpi.Rank, buf data.Buf, root int) {
-	treeDMACommon(r, buf, root, false)
+func bcastTreeDMADirect(r *mpi.Rank, buf data.Buf, root int, done func()) {
+	treeDMACommon(r, buf, root, false, done)
 }
 
-func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool) {
+func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool, done func()) {
 	seq := r.NextSeq()
 	st := getTreeBcastState(r, seq, buf.Len())
-	defer r.ReleaseWorldShared(seq, treeBcastKind)
 	if r.Rank() == root {
 		st.src = buf
 	}
@@ -248,23 +321,30 @@ func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool) {
 	node := r.NodeID()
 	ppn := r.LocalSize()
 	cached := quadBcastFootprint(r, buf.Len())
+	finish := treeFinish(r, st, seq, buf, root, done)
 
 	if r.IsNodeMaster() {
-		masterPump(r, st, func(i int, span hw.Span) {
+		masterPumpThen(r, st, func(i int, span hw.Span, k func()) {
 			for p := 1; p < ppn; p++ {
 				putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
 				cnt := st.peer[node][p]
 				n := int64(span.Len)
 				m.K.At(putDone, func() { cnt.Add(n) })
 			}
-		})
+			k()
+		}, finish)
 	} else {
 		cnt := st.peer[node][r.LocalRank()]
 		isRoot := r.Rank() == root
 		p := r.Proc()
 		hwNode := r.Node().HW
-		got := int64(0)
-		for _, span := range st.spans {
+		var step func(i int, got int64)
+		step = func(i int, got int64) {
+			if i == len(st.spans) {
+				finish()
+				return
+			}
+			span := st.spans[i]
 			got += int64(span.Len)
 			pl := p.NewPlan()
 			if fifo && !isRoot {
@@ -272,11 +352,10 @@ func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool) {
 				// application buffer.
 				hwNode.PlanCopy(pl, span.Len, cached)
 			}
-			p.WaitGEPlan(cnt, got, pl)
+			g := got
+			p.WaitGEPlanThen(cnt, g, pl, func() { step(i+1, g) })
 		}
-	}
-	if r.Rank() != root {
-		installPayload(buf, st.src)
+		step(0, 0)
 	}
 }
 
@@ -287,10 +366,9 @@ func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool) {
 // 3 copy through process windows, and rank 2 additionally fills rank 0's
 // buffer — the injector has no cycles to copy, and memory bandwidth is at
 // least twice the collective network's.
-func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int) {
+func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	seq := r.NextSeq()
 	st := getTreeBcastState(r, seq, buf.Len())
-	defer r.ReleaseWorldShared(seq, treeBcastKind)
 	if r.Rank() == root {
 		st.src = buf
 	}
@@ -299,19 +377,27 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int) {
 	cached := quadBcastFootprint(r, total)
 	rootRank := r.World().Rank(root)
 	rootOnNode := rootRank.NodeID() == node
+	finish := treeFinish(r, st, seq, buf, root, done)
 
 	switch r.LocalRank() {
 	case 0: // injection process
 		st.r0Buf[node] = buf
+		afterMap := func() {
+			injectAllThen(r, st, func() {
+				if r.Rank() != root {
+					// Wait for rank 2 to fill this buffer.
+					r.Proc().WaitGEThen(st.fill[node], int64(total), finish)
+					return
+				}
+				finish()
+			})
+		}
 		if rootOnNode && root != r.Rank() {
 			// Inject the payload out of the root rank's buffer through a
 			// process window.
-			r.CNK().Map(r.Proc(), windowKey(rootRank.LocalRank(), st.src), total)
-		}
-		injectAll(r, st)
-		if r.Rank() != root {
-			// Wait for rank 2 to fill this buffer.
-			r.Proc().WaitGE(st.fill[node], int64(total))
+			r.CNK().MapThen(r.Proc(), windowKey(rootRank.LocalRank(), st.src), total, afterMap)
+		} else {
+			afterMap()
 		}
 
 	case 1: // reception process: directly into its application buffer
@@ -320,64 +406,90 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int) {
 			// Dual mode has no dedicated copy processes: the reception
 			// process also fills the injector's buffer.
 			fillInjector := r.RankOf(node, 0) != root
+			afterMap := func() {
+				net := r.Machine().Tree
+				sw := st.sw[node]
+				p := r.Proc()
+				var step func(i int)
+				step = func(i int) {
+					if i == len(st.spans) {
+						finish()
+						return
+					}
+					span := st.spans[i]
+					pl := p.NewPlan()
+					pl.Sleep(net.TouchTime(span.Len))
+					pl.Add(sw, int64(span.Len))
+					if fillInjector {
+						r.Node().HW.PlanCopy(pl, span.Len, cached)
+					}
+					p.WaitPlanThen(st.ops[i].Delivered(), pl, func() {
+						if fillInjector {
+							st.fill[node].Add(int64(span.Len))
+						}
+						step(i + 1)
+					})
+				}
+				step(0)
+			}
 			if fillInjector {
-				r.CNK().Map(r.Proc(), windowKey(0, st.r0Buf[node]), total)
+				r.CNK().MapThen(r.Proc(), windowKey(0, st.r0Buf[node]), total, afterMap)
+			} else {
+				afterMap()
 			}
-			net := r.Machine().Tree
-			sw := st.sw[node]
-			p := r.Proc()
-			for i, span := range st.spans {
-				pl := p.NewPlan()
-				pl.Sleep(net.TouchTime(span.Len))
-				pl.Add(sw, int64(span.Len))
-				if fillInjector {
-					r.Node().HW.PlanCopy(pl, span.Len, cached)
-				}
-				p.WaitPlan(st.ops[i].Delivered(), pl)
-				if fillInjector {
-					st.fill[node].Add(int64(span.Len))
-				}
-			}
-			break
+			return
 		}
-		receiveAll(r, st)
+		receiveAllThen(r, st, finish)
 
 	case 2: // copy process, also responsible for the injector's buffer
 		sw := st.sw[node]
-		r.Proc().WaitGE(sw, 1)
-		r.CNK().Map(r.Proc(), windowKey(1, st.rxBuf[node]), total)
-		fillInjector := r.RankOf(node, 0) != root
-		if fillInjector {
-			r.CNK().Map(r.Proc(), windowKey(0, st.r0Buf[node]), total)
-		}
-		isRoot := r.Rank() == root
-		p := r.Proc()
-		hwNode := r.Node().HW
-		got := int64(0)
-		for _, span := range st.spans {
-			got += int64(span.Len)
-			pl := p.NewPlan()
-			hwNode.PlanPoll(pl)
-			if !isRoot {
-				hwNode.PlanCopy(pl, span.Len, cached)
-			}
-			if fillInjector {
-				// The extra copy into rank 0's buffer; memory bandwidth
-				// exceeds the tree's, so this does not throttle the flow.
-				hwNode.PlanCopy(pl, span.Len, cached)
-				pl.Add(st.fill[node], int64(span.Len))
-			}
-			p.WaitGEPlan(sw, got, pl)
-		}
-		st.done[node].Add(1)
+		r.Proc().WaitGEThen(sw, 1, func() {
+			r.CNK().MapThen(r.Proc(), windowKey(1, st.rxBuf[node]), total, func() {
+				fillInjector := r.RankOf(node, 0) != root
+				run := func() {
+					isRoot := r.Rank() == root
+					p := r.Proc()
+					hwNode := r.Node().HW
+					var step func(i int, got int64)
+					step = func(i int, got int64) {
+						if i == len(st.spans) {
+							st.done[node].Add(1)
+							finish()
+							return
+						}
+						span := st.spans[i]
+						got += int64(span.Len)
+						pl := p.NewPlan()
+						hwNode.PlanPoll(pl)
+						if !isRoot {
+							hwNode.PlanCopy(pl, span.Len, cached)
+						}
+						if fillInjector {
+							// The extra copy into rank 0's buffer; memory
+							// bandwidth exceeds the tree's, so this does not
+							// throttle the flow.
+							hwNode.PlanCopy(pl, span.Len, cached)
+							pl.Add(st.fill[node], int64(span.Len))
+						}
+						g := got
+						p.WaitGEPlanThen(sw, g, pl, func() { step(i+1, g) })
+					}
+					step(0, 0)
+				}
+				if fillInjector {
+					r.CNK().MapThen(r.Proc(), windowKey(0, st.r0Buf[node]), total, run)
+				} else {
+					run()
+				}
+			})
+		})
 
 	case 3: // copy process
 		sw := st.sw[node]
-		r.Proc().WaitGE(sw, 1)
-		r.CNK().Map(r.Proc(), windowKey(1, st.rxBuf[node]), total)
-		treePeerCopy(r, st, root, cached)
-	}
-	if r.Rank() != root {
-		installPayload(buf, st.src)
+		r.Proc().WaitGEThen(sw, 1, func() {
+			r.CNK().MapThen(r.Proc(), windowKey(1, st.rxBuf[node]), total, func() {
+				treePeerCopyThen(r, st, root, cached, finish)
+			})
+		})
 	}
 }

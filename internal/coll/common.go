@@ -8,18 +8,20 @@ import (
 )
 
 // Register installs every algorithm in the mpi registries. The facade calls
-// it once at startup.
+// it once at startup. The broadcast and allreduce families register in
+// program form, which also derives their blocking entry points; the
+// extension collectives remain goroutine-only.
 func Register() {
-	mpi.RegisterBcast(mpi.BcastTorusDirectPut, bcastTorusDirectPut)
-	mpi.RegisterBcast(mpi.BcastTorusShaddr, bcastTorusShaddr)
-	mpi.RegisterBcast(mpi.BcastTorusFIFO, bcastTorusFIFO)
-	mpi.RegisterBcast(mpi.BcastTreeSMP, bcastTreeSMP)
-	mpi.RegisterBcast(mpi.BcastTreeShmem, bcastTreeShmem)
-	mpi.RegisterBcast(mpi.BcastTreeDMAFIFO, bcastTreeDMAFIFO)
-	mpi.RegisterBcast(mpi.BcastTreeDMADirect, bcastTreeDMADirect)
-	mpi.RegisterBcast(mpi.BcastTreeShaddr, bcastTreeShaddr)
-	mpi.RegisterAllreduce(mpi.AllreduceTorusCurrent, allreduceCurrent)
-	mpi.RegisterAllreduce(mpi.AllreduceTorusNew, allreduceShaddr)
+	mpi.RegisterProgBcast(mpi.BcastTorusDirectPut, bcastTorusDirectPut)
+	mpi.RegisterProgBcast(mpi.BcastTorusShaddr, bcastTorusShaddr)
+	mpi.RegisterProgBcast(mpi.BcastTorusFIFO, bcastTorusFIFO)
+	mpi.RegisterProgBcast(mpi.BcastTreeSMP, bcastTreeSMP)
+	mpi.RegisterProgBcast(mpi.BcastTreeShmem, bcastTreeShmem)
+	mpi.RegisterProgBcast(mpi.BcastTreeDMAFIFO, bcastTreeDMAFIFO)
+	mpi.RegisterProgBcast(mpi.BcastTreeDMADirect, bcastTreeDMADirect)
+	mpi.RegisterProgBcast(mpi.BcastTreeShaddr, bcastTreeShaddr)
+	mpi.RegisterProgAllreduce(mpi.AllreduceTorusCurrent, allreduceCurrent)
+	mpi.RegisterProgAllreduce(mpi.AllreduceTorusNew, allreduceShaddr)
 	mpi.RegisterGather(mpi.GatherTorus, gatherTorus)
 	mpi.RegisterAllgather(mpi.AllgatherTorus, allgatherTorus)
 	mpi.RegisterAllgather(mpi.AllgatherRing, allgatherRing)

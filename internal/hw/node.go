@@ -125,6 +125,31 @@ func (n *Node) coreMemOp(p *sim.Proc, bytes int, rate float64) sim.Time {
 // flag or counter update by one core to become visible to another.
 func (n *Node) Poll(p *sim.Proc) { p.Sleep(n.P.PollLatency) }
 
+// CopyThen is the explicit-resume form of Copy: cont runs at the completion
+// time Copy would have returned at.
+func (n *Node) CopyThen(p *sim.Proc, bytes int, cached bool, cont func()) {
+	n.coreMemOpThen(p, bytes, n.copyRate(cached), cont)
+}
+
+// ReduceThen is the explicit-resume form of Reduce.
+func (n *Node) ReduceThen(p *sim.Proc, bytes int, cached bool, cont func()) {
+	n.coreMemOpThen(p, bytes, n.reduceRate(cached), cont)
+}
+
+// coreMemOpThen mirrors coreMemOp: a non-positive size continues immediately
+// without touching the bus; otherwise the bus reservation and the core
+// occupation overlap, finishing at whichever is later.
+func (n *Node) coreMemOpThen(p *sim.Proc, bytes int, rate float64, cont func()) {
+	if bytes <= 0 {
+		cont()
+		return
+	}
+	p.BusyThen(n.Bus, bytes, sim.TransferTime(bytes, rate), cont)
+}
+
+// PollThen is the explicit-resume form of Poll.
+func (n *Node) PollThen(p *sim.Proc, cont func()) { p.SleepThen(n.P.PollLatency, cont) }
+
 // PlanCopy appends Copy to a fused step plan: the same bus reservation and
 // core occupation, executed while the process stays parked.
 func (n *Node) PlanCopy(pl *sim.Plan, bytes int, cached bool) {

@@ -115,6 +115,13 @@ func TestRawGoroutineBenchSite(t *testing.T) {
 	runFixture(t, RawGoroutine, "bgpcoll/internal/bench", "testdata/rawgoroutine_bench")
 }
 
+// TestSimDeterminismProgramFrameSite checks the frame-mutation exemption is
+// file-specific: the identical assignments are clean in program.go under
+// bgpcoll/internal/sim and flagged in any sibling file.
+func TestSimDeterminismProgramFrameSite(t *testing.T) {
+	runFixture(t, SimDeterminism, "bgpcoll/internal/sim", "testdata/simdeterminism_sim")
+}
+
 func TestMapOrder(t *testing.T) {
 	runFixture(t, MapOrder, "bgpcoll/internal/mpi", "testdata/maporder")
 }
@@ -153,10 +160,10 @@ func TestSanctionedGoFileIsExactlyOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	// pool.go's go statement loses its exemption outside bgpcoll/internal/sim,
-	// joining the three always-flagged sites (including the retired proc.go
-	// launch site).
-	if len(diags) != 4 {
-		t.Errorf("got %d diagnostics, want 4 (pool.go exemption must be path-specific):", len(diags))
+	// joining the four always-flagged sites (the retired proc.go launch site
+	// and the program-execution file among them).
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5 (pool.go exemption must be path-specific):", len(diags))
 		for _, d := range diags {
 			t.Logf("  %s", d)
 		}

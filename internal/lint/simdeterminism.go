@@ -1,19 +1,66 @@
 package lint
 
 import (
+	"go/ast"
 	"go/types"
+	"path/filepath"
 )
 
 // SimDeterminism forbids wall-clock time and the unseeded global math/rand
-// source in simulator-driven packages. Event ordering there must depend only
-// on virtual time (sim.Time) and explicitly seeded randomness; one stray
-// time.Now() silently corrupts every benchmark figure without failing a
-// test.
+// source in simulator-driven packages, and — since program-mode ranks were
+// introduced — direct mutation of a Proc's program frame outside the kernel's
+// own execution file. Event ordering there must depend only on virtual time
+// (sim.Time) and explicitly seeded randomness; one stray time.Now() silently
+// corrupts every benchmark figure without failing a test, and one stray
+// `p.cont = ...` detaches a resume from the queue position the kernel owes
+// it.
 var SimDeterminism = &Analyzer{
 	Name:    "simdeterminism",
-	Doc:     "forbid wall-clock time and unseeded math/rand in simulator-driven packages; all timing must flow through sim.Time",
+	Doc:     "forbid wall-clock time, unseeded math/rand, and out-of-kernel Proc program-frame mutation in simulator-driven packages",
 	Applies: isSimDriven,
 	Run:     runSimDeterminism,
+}
+
+// progFrameFields is the resumable-program state of sim.Proc: the pending
+// continuation, its pre-bound trampolines, and the armed/inline markers. The
+// kernel maintains the invariant that exactly one resume is in flight per
+// armed frame; any assignment outside sim/program.go breaks it silently.
+var progFrameFields = map[string]bool{
+	"cont":   true,
+	"contFn": true,
+	"progFn": true,
+	"armed":  true,
+	"inline": true,
+}
+
+// progFrameFile is the one file allowed to mutate program frames: the program
+// ops and the kernel activation wrappers live there.
+const (
+	progFramePkg  = "bgpcoll/internal/sim"
+	progFrameFile = "program.go"
+)
+
+// isProcProgFrame reports whether sel selects a program-frame field of a Proc
+// type declared in a simulator-driven package (the real sim.Proc, or a
+// fixture's stand-in).
+func isProcProgFrame(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !progFrameFields[sel.Sel.Name] {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Proc" && obj.Pkg() != nil && isSimDriven(obj.Pkg().Path())
 }
 
 // bannedTimeFuncs are the package time functions that read or wait on the
@@ -67,5 +114,25 @@ func runSimDeterminism(pass *Pass) error {
 	}
 	// Uses iteration order is nondeterministic, but diagnostics are sorted
 	// by position in Run, so output order is stable.
+
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if pass.Path == progFramePkg && name == progFrameFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && isProcProgFrame(pass, sel) {
+					pass.Reportf(sel.Pos(),
+						"direct mutation of Proc program frame field %s outside kernel execution; resume state may only change through the program ops in sim/program.go", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
 	return nil
 }

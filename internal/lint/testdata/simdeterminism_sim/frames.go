@@ -1,0 +1,8 @@
+package sim
+
+// Any other file in the sim package — tests included — must go through the
+// program ops instead of poking the frame.
+func flaggedArmElsewhere(p *Proc, k func()) {
+	p.cont = k     // want `direct mutation of Proc program frame field cont outside kernel execution`
+	p.armed = true // want `direct mutation of Proc program frame field armed outside kernel execution`
+}

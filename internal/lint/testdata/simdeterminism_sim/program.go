@@ -1,0 +1,15 @@
+package sim
+
+// This file mirrors the sanctioned frame-mutation site internal/sim/program.go:
+// the program ops and the kernel activation wrappers own the resume state, so
+// the analyzer exempts assignments here (and only here).
+type Proc struct {
+	cont   func()
+	armed  bool
+	inline bool
+}
+
+func sanctionedArm(p *Proc, k func()) {
+	p.cont = k
+	p.armed = true
+}

@@ -122,6 +122,23 @@ func (r *Rank) Barrier() {
 	r.ReleaseWorldShared(seq, "barrier")
 }
 
+// BarrierThen is the explicit-resume form of Barrier: done runs once all
+// ranks have arrived and the interrupt-network latency has elapsed.
+func (r *Rank) BarrierThen(done func()) {
+	seq := r.NextSeq()
+	st := r.WorldShared(seq, "barrier", func() any {
+		return &barrierState{ev: r.w.M.K.NewEvent(fmt.Sprintf("barrier%d", seq))}
+	}).(*barrierState)
+	st.arrived++
+	if st.arrived == r.Size() {
+		r.w.M.K.After(r.w.M.Cfg.Params.BarrierLatency, st.ev.Fire)
+	}
+	r.proc.WaitThen(st.ev, func() {
+		r.ReleaseWorldShared(seq, "barrier")
+		done()
+	})
+}
+
 type barrierState struct {
 	arrived int
 	ev      *sim.Event

@@ -44,6 +44,17 @@ type BcastFn func(r *Rank, buf data.Buf, root int)
 // recv on every rank.
 type AllreduceFn func(r *Rank, send, recv data.Buf)
 
+// ProgBcastFn is the explicit-resume (program) form of BcastFn: the body is
+// written against the sim *Then operations and calls done when the collective
+// completes on this rank. On a goroutine-backed rank the operations block, so
+// the call is synchronous; on an inline program rank the body parks and the
+// kernel resumes it — either way done runs exactly once, at the virtual-time
+// position the blocking form would have returned.
+type ProgBcastFn func(r *Rank, buf data.Buf, root int, done func())
+
+// ProgAllreduceFn is the explicit-resume form of AllreduceFn.
+type ProgAllreduceFn func(r *Rank, send, recv data.Buf, done func())
+
 // GatherFn gathers each rank's send buffer into the root's recv buffer
 // (rank i's data at offset i*send.Len()).
 type GatherFn func(r *Rank, send, recv data.Buf, root int)
@@ -64,20 +75,51 @@ type ScatterFn func(r *Rank, send, recv data.Buf, root int)
 type AlltoallFn func(r *Rank, send, recv data.Buf)
 
 var (
-	bcastAlgos     = map[string]BcastFn{}
-	allreduceAlgos = map[string]AllreduceFn{}
-	gatherAlgos    = map[string]GatherFn{}
-	allgatherAlgos = map[string]AllgatherFn{}
-	reduceAlgos    = map[string]ReduceFn{}
-	scatterAlgos   = map[string]ScatterFn{}
-	alltoallAlgos  = map[string]AlltoallFn{}
+	bcastAlgos         = map[string]BcastFn{}
+	progBcastAlgos     = map[string]ProgBcastFn{}
+	allreduceAlgos     = map[string]AllreduceFn{}
+	progAllreduceAlgos = map[string]ProgAllreduceFn{}
+	gatherAlgos        = map[string]GatherFn{}
+	allgatherAlgos     = map[string]AllgatherFn{}
+	reduceAlgos        = map[string]ReduceFn{}
+	scatterAlgos       = map[string]ScatterFn{}
+	alltoallAlgos      = map[string]AlltoallFn{}
 )
 
 // RegisterBcast installs a broadcast implementation under name.
 func RegisterBcast(name string, fn BcastFn) { bcastAlgos[name] = fn }
 
+// RegisterProgBcast installs a program-form broadcast under name, and derives
+// the blocking BcastFn from it: with a goroutine-backed rank every *Then
+// operation blocks, so calling the program body with a no-op continuation IS
+// the blocking algorithm. One transcription serves both execution modes.
+func RegisterProgBcast(name string, fn ProgBcastFn) {
+	progBcastAlgos[name] = fn
+	bcastAlgos[name] = func(r *Rank, buf data.Buf, root int) { fn(r, buf, root, func() {}) }
+}
+
 // RegisterAllreduce installs an allreduce implementation under name.
 func RegisterAllreduce(name string, fn AllreduceFn) { allreduceAlgos[name] = fn }
+
+// RegisterProgAllreduce installs a program-form allreduce under name and
+// derives the blocking AllreduceFn from it (see RegisterProgBcast).
+func RegisterProgAllreduce(name string, fn ProgAllreduceFn) {
+	progAllreduceAlgos[name] = fn
+	allreduceAlgos[name] = func(r *Rank, send, recv data.Buf) { fn(r, send, recv, func() {}) }
+}
+
+// HasProgBcast reports whether the named broadcast has a program form, i.e.
+// whether ranks running it can execute without goroutines.
+func HasProgBcast(name string) bool {
+	_, ok := progBcastAlgos[name]
+	return ok
+}
+
+// HasProgAllreduce reports whether the named allreduce has a program form.
+func HasProgAllreduce(name string) bool {
+	_, ok := progAllreduceAlgos[name]
+	return ok
+}
 
 // RegisterGather installs a gather implementation under name.
 func RegisterGather(name string, fn GatherFn) { gatherAlgos[name] = fn }
@@ -130,6 +172,22 @@ func (r *Rank) Bcast(buf data.Buf, root int) {
 	lookupBcast(name)(r, buf, root)
 }
 
+// BcastThen is the explicit-resume form of Bcast: done runs when the
+// collective completes on this rank. Algorithms without a program form fall
+// back to the blocking implementation, which requires a goroutine-backed rank.
+func (r *Rank) BcastThen(buf data.Buf, root int, done func()) {
+	name := r.w.Tunables.Bcast
+	if name == "" {
+		name = r.autoBcast(buf.Len())
+	}
+	if fn, ok := progBcastAlgos[name]; ok {
+		fn(r, buf, root, done)
+		return
+	}
+	lookupBcast(name)(r, buf, root)
+	done()
+}
+
 // autoBcast mirrors the production protocol selection: the collective
 // network serves short and medium messages, the torus serves large ones; in
 // quad mode the shared-memory tree algorithm serves the shortest messages
@@ -160,6 +218,29 @@ func (r *Rank) AllreduceSum(send, recv data.Buf) {
 	if send.Len()%data.Float64Len != 0 {
 		panic("mpi: allreduce payload is not whole float64 elements")
 	}
+	name := r.allreduceName()
+	lookupAllreduce(name)(r, send, recv)
+}
+
+// AllreduceSumThen is the explicit-resume form of AllreduceSum.
+func (r *Rank) AllreduceSumThen(send, recv data.Buf, done func()) {
+	if send.Len() != recv.Len() {
+		panic("mpi: allreduce buffer length mismatch")
+	}
+	if send.Len()%data.Float64Len != 0 {
+		panic("mpi: allreduce payload is not whole float64 elements")
+	}
+	name := r.allreduceName()
+	if fn, ok := progAllreduceAlgos[name]; ok {
+		fn(r, send, recv, done)
+		return
+	}
+	lookupAllreduce(name)(r, send, recv)
+	done()
+}
+
+// allreduceName resolves the configured or default allreduce algorithm.
+func (r *Rank) allreduceName() string {
 	name := r.w.Tunables.Allreduce
 	if name == "" {
 		name = AllreduceTorusNew
@@ -167,7 +248,7 @@ func (r *Rank) AllreduceSum(send, recv data.Buf) {
 			name = AllreduceTorusCurrent
 		}
 	}
-	lookupAllreduce(name)(r, send, recv)
+	return name
 }
 
 // Gather gathers each rank's send into the root's recv.

@@ -103,6 +103,23 @@ func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
 	return w.M.K.Now(), err
 }
 
+// RunProgram executes fn on every rank as a program process: the body must be
+// written in explicit-resume style (BarrierThen, BcastThen, ...) and is done
+// when its last continuation returns without arming another resume. In the
+// kernel's default mode no rank gets a goroutine; in noProgram reference mode
+// the identical bodies run on goroutine processes, where every *Then
+// operation blocks — either way the schedule is the same one Run produces
+// from the blocking transcription.
+func (w *World) RunProgram(fn func(r *Rank)) (sim.Time, error) {
+	for _, r := range w.ranks {
+		r.proc = w.M.K.SpawnProgram(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			fn(r)
+		})
+	}
+	err := w.M.K.Run()
+	return w.M.K.Now(), err
+}
+
 // opKey identifies one collective operation instance at one coordination
 // scope: a node (intra-node shared state) or the whole job (scope -1).
 type opKey struct {

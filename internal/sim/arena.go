@@ -1,0 +1,58 @@
+// Per-kernel slab allocation. A figure cell allocates one Event per tree
+// chunk per rank, one Counter per protocol stage per rank, and one Proc per
+// rank — hundreds of thousands of small objects whose lifetimes are all
+// exactly the kernel's. Allocating them individually makes the allocator and
+// the GC scan hot on the sweep path; carving them out of kernel-owned slabs
+// makes allocation a slice index and lets the whole population die with the
+// kernel in one sweep (nothing is freed piecemeal; dropping the Kernel drops
+// every slab).
+//
+// Slabs are safe without locking for the same reason all kernel state is:
+// NewEvent/NewCounter/Spawn only run under the virtual-CPU token (or before
+// Run starts), so a kernel's arena is single-threaded even when multiple
+// kernels run on parallel OS threads.
+package sim
+
+// slab sizes: large enough to amortize the make, small enough that a tiny
+// unit-test kernel does not waste visible memory.
+const (
+	eventSlabSize   = 512
+	counterSlabSize = 256
+	procSlabSize    = 256
+)
+
+// arena holds the kernel's current partially-consumed slabs plus the
+// reusable wake batch buffer (see Counter.release).
+type arena struct {
+	events   []Event
+	counters []Counter
+	procs    []Proc
+	wakeBuf  []entry
+}
+
+func (a *arena) newEvent() *Event {
+	if len(a.events) == 0 {
+		a.events = make([]Event, eventSlabSize)
+	}
+	e := &a.events[0]
+	a.events = a.events[1:]
+	return e
+}
+
+func (a *arena) newCounter() *Counter {
+	if len(a.counters) == 0 {
+		a.counters = make([]Counter, counterSlabSize)
+	}
+	c := &a.counters[0]
+	a.counters = a.counters[1:]
+	return c
+}
+
+func (a *arena) newProc() *Proc {
+	if len(a.procs) == 0 {
+		a.procs = make([]Proc, procSlabSize)
+	}
+	p := &a.procs[0]
+	a.procs = a.procs[1:]
+	return p
+}

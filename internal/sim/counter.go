@@ -18,9 +18,12 @@ type counterWait struct {
 	e         entry
 }
 
-// NewCounter returns a counter starting at zero.
+// NewCounter returns a counter starting at zero, carved from the kernel's
+// arena (see arena.go).
 func (k *Kernel) NewCounter(name string) *Counter {
-	return &Counter{k: k, name: name}
+	c := k.arena.newCounter()
+	c.k, c.name = k, name
+	return c
 }
 
 // Value returns the current count.
@@ -67,8 +70,26 @@ func (c *Counter) release() {
 	if n == 0 {
 		return
 	}
-	for _, w := range c.waiters[:n] {
-		c.k.wake(w.e)
+	k := c.k
+	if n == 1 {
+		k.wake(c.waiters[0].e)
+	} else {
+		// A threshold crossing that releases several waiters at one instant
+		// wakes them as a single run-ring batch: the per-waiter blocked
+		// bookkeeping runs first, then one bulk append in threshold order
+		// (ties in registration order — the same order wake-by-wake pushes
+		// would have produced).
+		buf := k.arena.wakeBuf[:0]
+		for _, w := range c.waiters[:n] {
+			if w.e.p != nil {
+				k.blocked--
+				w.e.p.waitEv, w.e.p.waitC = nil, nil
+			}
+			buf = append(buf, w.e)
+		}
+		k.ring.pushBatch(buf)
+		clear(buf)
+		k.arena.wakeBuf = buf[:0]
 	}
 	// Compact in place rather than re-slicing the front away: waking repeatedly
 	// would otherwise shrink capacity to zero and reallocate on every wait.

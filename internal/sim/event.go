@@ -11,9 +11,12 @@ type Event struct {
 	waiters []entry // parked process resumes (Wait) and callbacks (OnFire)
 }
 
-// NewEvent returns an unfired event. The name appears in deadlock reports.
+// NewEvent returns an unfired event, carved from the kernel's arena (see
+// arena.go). The name appears in deadlock reports.
 func (k *Kernel) NewEvent(name string) *Event {
-	return &Event{k: k, name: name}
+	e := k.arena.newEvent()
+	e.k, e.name = k, name
+	return e
 }
 
 // Fired reports whether the event has fired.
@@ -21,14 +24,26 @@ func (e *Event) Fired() bool { return e.fired }
 
 // Fire marks the event fired and schedules all waiters at the current virtual
 // time. Firing twice panics: it always indicates a protocol bug.
+//
+// The waiters are released as one run-ring batch: the blocked bookkeeping
+// (normally done per-entry in Kernel.wake) runs first, then the whole slice
+// is appended to the ring in a single copy, preserving registration order.
 func (e *Event) Fire() {
 	if e.fired {
 		panic("sim: event " + e.name + " fired twice")
 	}
 	e.fired = true
-	for _, w := range e.waiters {
-		e.k.wake(w)
+	if len(e.waiters) == 0 {
+		return
 	}
+	k := e.k
+	for _, w := range e.waiters {
+		if w.p != nil {
+			k.blocked--
+			w.p.waitEv, w.p.waitC = nil, nil
+		}
+	}
+	k.ring.pushBatch(e.waiters)
 	e.waiters = nil
 }
 

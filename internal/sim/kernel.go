@@ -60,6 +60,13 @@ type Kernel struct {
 	// reference semantics the determinism stress tests compare against.
 	noFuse bool
 
+	// noProgram makes SpawnProgram fall back to goroutine-backed processes
+	// (see program.go): the same process bodies run through the blocking
+	// primitives instead of inline continuations — the reference mode the
+	// determinism stress tests and the CI program-vs-reference bench compare
+	// against.
+	noProgram bool
+
 	// fused is a process whose plan just completed on an instant step: next()
 	// resumes it before popping any further entry, preserving the queue
 	// position its unfused slice would have occupied.
@@ -78,6 +85,11 @@ type Kernel struct {
 	// goroutine (see handoff); Run re-panics with it so callback panics
 	// crash Run exactly as they do when the kernel goroutine runs them.
 	cbPanic any
+
+	// arena holds the kernel's slab allocator for events, counters, and
+	// processes (see arena.go). Everything carved from it lives exactly as
+	// long as the kernel.
+	arena arena
 }
 
 // New returns a kernel with the clock at zero.
@@ -87,6 +99,12 @@ func New() *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetNoProgram toggles the goroutine-backed reference mode for SpawnProgram
+// (see program.go). It must be called before any process is spawned; the two
+// modes produce bit-identical event orderings, so this exists for the
+// determinism stress tests and the program-vs-reference benchmark runs.
+func (k *Kernel) SetNoProgram(v bool) { k.noProgram = v }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a broken cost model rather than a recoverable state.
@@ -278,6 +296,19 @@ func (r *runRing) push(e entry) {
 	r.buf[r.tail] = e
 	r.tail = (r.tail + 1) & (len(r.buf) - 1)
 	r.n++
+}
+
+// pushBatch appends a slice of entries in order with a single capacity check
+// and at most two copies (wraparound). Event fan-out and multi-waiter counter
+// crossings use it to wake N parties as one batch instead of N pushes.
+func (r *runRing) pushBatch(es []entry) {
+	for r.n+len(es) > len(r.buf) {
+		r.grow()
+	}
+	m := copy(r.buf[r.tail:], es)
+	copy(r.buf, es[m:])
+	r.tail = (r.tail + len(es)) & (len(r.buf) - 1)
+	r.n += len(es)
 }
 
 func (r *runRing) pop() entry {

@@ -179,3 +179,104 @@ func BenchmarkSpawn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkProgramYield is BenchmarkProcYield for an inline program: b.N
+// zero-duration sleeps executed as queue callbacks, no goroutine involved.
+// The gap between this and BenchmarkProcYield is the per-park saving of
+// program mode.
+func BenchmarkProgramYield(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	k.SpawnProgram("yielder", func(p *Proc) {
+		var step func(i int)
+		step = func(i int) {
+			if i == b.N {
+				return
+			}
+			p.SleepThen(0, func() { step(i + 1) })
+		}
+		step(0)
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProgramWaitGE is BenchmarkProcWaitGE with the consumer as an
+// inline program: the producer's Add releases a stored continuation instead
+// of a parked goroutine.
+func BenchmarkProgramWaitGE(b *testing.B) {
+	k := New()
+	c := k.NewCounter("dma")
+	b.ReportAllocs()
+	k.SpawnProgram("consumer", func(p *Proc) {
+		var step func(i int)
+		step = func(i int) {
+			if i == b.N {
+				return
+			}
+			p.WaitGEThen(c, int64(i+1), func() { step(i + 1) })
+		}
+		step(0)
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+			p.Sleep(0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSpawnProgram measures inline program creation + first activation +
+// exit: no worker checkout, the Proc comes from the kernel arena.
+func BenchmarkSpawnProgram(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	const batch = 256
+	for n := 0; n < b.N; n += batch {
+		m := batch
+		if b.N-n < m {
+			m = b.N - n
+		}
+		for i := 0; i < m; i++ {
+			k.SpawnProgram("w", func(p *Proc) {})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArenaAlloc measures slab allocation of the kernel-lifetime
+// objects (event + counter per iteration) — the path every collective state
+// constructor takes.
+func BenchmarkArenaAlloc(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = k.NewEvent("e")
+		_ = k.NewCounter("c")
+	}
+}
+
+// BenchmarkBatchedCounterWake measures a threshold crossing that releases 32
+// waiters at one instant: the bookkeeping pass plus one bulk ring append.
+func BenchmarkBatchedCounterWake(b *testing.B) {
+	const waiters = 32
+	k := New()
+	nop := func() {}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n += waiters {
+		c := k.NewCounter("bytes")
+		for i := 0; i < waiters; i++ {
+			c.OnGE(1, nop)
+		}
+		c.Add(1)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -35,6 +35,19 @@ type Proc struct {
 	// once on first NewPlan so plans add no per-step allocation.
 	plan   Plan
 	stepFn func()
+
+	// Program-mode state (see program.go). inline marks a process with no
+	// backing goroutine: its continuations run as queue callbacks. cont holds
+	// the continuation pending behind the current sleep, wait, or plan;
+	// contFn/progFn are the pre-bound trampolines scheduled in its place.
+	// armed records that a resume is pending somewhere in the queues or
+	// waiter lists, so the activation wrapper can tell "parked" from
+	// "finished".
+	inline bool
+	armed  bool
+	cont   func()
+	contFn func()
+	progFn func()
 }
 
 // procPanicError formats a panic escaping process code — a process body or a
@@ -49,7 +62,8 @@ func procPanicError(name string, r any) error {
 // comes from the shared worker pool, so repeated Kernel instances reuse
 // parked goroutines (and their grown stacks) instead of spawning fresh ones.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name}
+	p := k.arena.newProc()
+	p.k, p.name = k, name
 	w := getWorker()
 	p.gate = w.gate
 	w.p, w.fn = p, fn
@@ -88,6 +102,9 @@ func (p *Proc) exec(fn func(p *Proc)) {
 // and returns immediately. Only when no process is runnable (queues drained,
 // noHandoff mode, or failure) does the token return to the kernel.
 func (p *Proc) yield() {
+	if p.inline {
+		panic("sim: blocking primitive called on program process " + p.name)
+	}
 	q := p.k.handoff()
 	if q == p {
 		return

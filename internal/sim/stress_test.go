@@ -10,13 +10,16 @@ import (
 // The stress tests generate a randomized pipeline workload from a seed and
 // run it under every scheduling mode the kernel supports:
 //
-//   - direct handoff + fused plans (the production configuration)
+//   - direct handoff + fused plans + inline programs (the production
+//     configuration)
 //   - noHandoff: every yield through the kernel goroutine (two rendezvous)
 //   - noFuse: plan-attached waits run through the ordinary primitives
-//   - both reference modes together
+//   - noProgram: SpawnProgram bodies run on goroutine-backed processes
+//   - every combination of the three reference modes
 //
-// The modes are pure transport/fusion changes; the (time, seq) event order
-// must be bit-identical, so the recorded traces must match exactly.
+// The modes are pure transport/fusion/execution changes; the (time, seq)
+// event order must be bit-identical, so the recorded traces must match
+// exactly.
 
 type stressRec struct {
 	proc  int
@@ -29,14 +32,36 @@ type stressMode struct {
 	name      string
 	noHandoff bool
 	noFuse    bool
+	noProgram bool
 }
 
-var stressModes = []stressMode{
-	{"handoff+fuse", false, false},
-	{"kernel-mediated", true, false},
-	{"unfused", false, true},
-	{"kernel-mediated+unfused", true, true},
-}
+// stressModes is the full {handoff, fuse, program} x {reference} matrix; the
+// production configuration comes first and is the comparison base.
+var stressModes = func() []stressMode {
+	var ms []stressMode
+	for _, noProgram := range []bool{false, true} {
+		for _, noFuse := range []bool{false, true} {
+			for _, noHandoff := range []bool{false, true} {
+				name := "handoff"
+				if noHandoff {
+					name = "kernel-mediated"
+				}
+				if noFuse {
+					name += "+unfused"
+				} else {
+					name += "+fuse"
+				}
+				if noProgram {
+					name += "+goroutine-programs"
+				} else {
+					name += "+program"
+				}
+				ms = append(ms, stressMode{name, noHandoff, noFuse, noProgram})
+			}
+		}
+	}
+	return ms
+}()
 
 // stressWorkload builds a deterministic random pipeline: proc 0 produces one
 // token per round (with random sleeps and pipe transfers in between), and
@@ -53,7 +78,7 @@ func stressTrace(t *testing.T, seed int64, mode stressMode) []stressRec {
 	)
 	rng := rand.New(rand.NewSource(seed))
 	k := New()
-	k.noHandoff, k.noFuse = mode.noHandoff, mode.noFuse
+	k.noHandoff, k.noFuse, k.noProgram = mode.noHandoff, mode.noFuse, mode.noProgram
 
 	pipes := []*Pipe{
 		k.NewPipe("busA", 2e9, 10*Nanosecond),
@@ -115,10 +140,19 @@ func stressTrace(t *testing.T, seed int64, mode stressMode) []stressRec {
 			prog[i-1][r].signalEv = prog[i][r].useEvent
 		}
 	}
+	// A seeded subset of procs runs as explicit-resume programs (SpawnProgram)
+	// instead of blocking goroutine bodies, so the matrix exercises program
+	// procs interleaved with goroutine procs in every mode.
+	useProgram := make([]bool, procs)
+	for i := range useProgram {
+		useProgram[i] = rng.Intn(2) == 0
+	}
 
 	var trace []stressRec
 	for i := 0; i < procs; i++ {
-		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+		// blockingBody is the original transcription: ordinary blocking
+		// primitives on a goroutine-backed process.
+		blockingBody := func(p *Proc) {
 			for r := 0; r < rounds; r++ {
 				pr := &prog[i][r]
 				if i > 0 {
@@ -167,7 +201,82 @@ func stressTrace(t *testing.T, seed int64, mode stressMode) []stressRec {
 					tokens[i].Add(1)
 				}
 			}
-		})
+		}
+		// programBody is the identical protocol in explicit-resume form.
+		programBody := func(p *Proc) {
+			var round func(r int)
+			var runSteps func(r, s int)
+			var runBody func(r int)
+			finishRound := func(r int) {
+				pr := &prog[i][r]
+				trace = append(trace, stressRec{proc: i, round: r, at: p.Now()})
+				if i < procs-1 {
+					if pr.signalEv {
+						evs[i+1][r].Fire()
+					}
+					tokens[i].Add(1)
+				}
+				round(r + 1)
+			}
+			runBody = func(r int) {
+				pr := &prog[i][r]
+				p.SleepThen(pr.bodySleep, func() {
+					if pr.bodyPipe >= 0 {
+						p.BusyThen(pipes[pr.bodyPipe], pr.bodyBytes, 0, func() { finishRound(r) })
+					} else {
+						finishRound(r)
+					}
+				})
+			}
+			runSteps = func(r, s int) {
+				pr := &prog[i][r]
+				if s == len(pr.steps) {
+					runBody(r)
+					return
+				}
+				st := &pr.steps[s]
+				switch st.kind {
+				case stepSleep:
+					p.SleepThen(st.d, func() { runSteps(r, s+1) })
+				case stepBusy:
+					p.BusyThen(st.pipe, st.bytes, st.d, func() { runSteps(r, s+1) })
+				case stepAdd:
+					st.c.Add(st.n)
+					runSteps(r, s+1)
+				}
+			}
+			round = func(r int) {
+				if r == rounds {
+					return
+				}
+				pr := &prog[i][r]
+				if i == 0 {
+					runBody(r)
+					return
+				}
+				if pr.usePlan {
+					pl := p.NewPlan()
+					pl.steps = append(pl.steps, pr.steps...)
+					if pr.useEvent {
+						p.WaitPlanThen(evs[i][r], pl, func() { runBody(r) })
+					} else {
+						p.WaitGEPlanThen(tokens[i-1], int64(r+1), pl, func() { runBody(r) })
+					}
+					return
+				}
+				if pr.useEvent {
+					p.WaitThen(evs[i][r], func() { runSteps(r, 0) })
+				} else {
+					p.WaitGEThen(tokens[i-1], int64(r+1), func() { runSteps(r, 0) })
+				}
+			}
+			round(0)
+		}
+		if useProgram[i] {
+			k.SpawnProgram(fmt.Sprintf("p%d", i), programBody)
+		} else {
+			k.Spawn(fmt.Sprintf("p%d", i), blockingBody)
+		}
 	}
 	if err := k.Run(); err != nil {
 		t.Fatalf("seed %d mode %s: %v", seed, mode.name, err)
@@ -222,7 +331,7 @@ func TestStressRerunStable(t *testing.T) {
 func TestDeadlockReportIdenticalAcrossModes(t *testing.T) {
 	build := func(mode stressMode) error {
 		k := New()
-		k.noHandoff, k.noFuse = mode.noHandoff, mode.noFuse
+		k.noHandoff, k.noFuse, k.noProgram = mode.noHandoff, mode.noFuse, mode.noProgram
 		c := k.NewCounter("starved")
 		ev := k.NewEvent("missing")
 		k.Spawn("waiter.ev", func(p *Proc) {
@@ -235,6 +344,16 @@ func TestDeadlockReportIdenticalAcrossModes(t *testing.T) {
 			pl.Sleep(Nanosecond)
 			p.WaitGEPlan(c, 9, pl)
 		})
+		k.SpawnProgram("waiter.prog", func(p *Proc) {
+			p.SleepThen(Nanosecond, func() {
+				p.WaitThen(ev, func() { t.Error("waiter.prog resumed") })
+			})
+		})
+		k.SpawnProgram("waiter.progplan", func(p *Proc) {
+			pl := p.NewPlan()
+			pl.Sleep(Nanosecond)
+			p.WaitGEPlanThen(c, 11, pl, func() { t.Error("waiter.progplan resumed") })
+		})
 		k.Spawn("finisher", func(p *Proc) {
 			p.Sleep(5 * Nanosecond)
 			c.Add(1)
@@ -245,7 +364,10 @@ func TestDeadlockReportIdenticalAcrossModes(t *testing.T) {
 	if base == nil {
 		t.Fatal("expected deadlock")
 	}
-	for _, want := range []string{"waiter.ev(event:missing)", "waiter.ge(counter:starved>=7)", "waiter.plan(counter:starved>=9)"} {
+	for _, want := range []string{
+		"waiter.ev(event:missing)", "waiter.ge(counter:starved>=7)", "waiter.plan(counter:starved>=9)",
+		"waiter.prog(event:missing)", "waiter.progplan(counter:starved>=11)",
+	} {
 		if !strings.Contains(base.Error(), want) {
 			t.Fatalf("deadlock report %q missing %q", base, want)
 		}
