@@ -5,12 +5,17 @@
 //
 //	benchdiff baseline.json candidate.json             # gate at the default 10%
 //	benchdiff -threshold 0.05 baseline.json new.json   # tighter gate
+//	benchdiff -allocs 0.10 baseline.json new.json      # also gate alloc_bytes
+//	benchdiff -strict baseline.json new.json           # missing experiment fails
 //
-// Output is one row per experiment with the wall-clock ratio and signed
-// percent delta, plus a whole-run total_ms comparison; the exit status is 1
-// when any experiment present in the baseline regressed beyond -threshold
-// (or is missing from the candidate), or when total_ms itself did, 2 on
-// usage or decode errors.
+// Output is one row per experiment with the wall-clock ratio, signed percent
+// delta, and (when either report carries memstats) the allocated-bytes delta,
+// plus a whole-run total_ms comparison. An experiment present in only one
+// report is listed as a warning; -strict turns a baseline experiment missing
+// from the candidate back into a hard regression. The exit status is 1 when
+// any experiment regressed beyond -threshold (or -allocs, when enabled, or a
+// -strict missing experiment), or when total_ms itself did, 2 on usage or
+// decode errors.
 package main
 
 import (
@@ -21,19 +26,26 @@ import (
 	"text/tabwriter"
 )
 
+// reportExperiment is one experiment's record in a report. AllocBytes/Allocs
+// are zero in reports from before bgpbench recorded memstats; the alloc gate
+// skips such rows rather than comparing against nothing.
+type reportExperiment struct {
+	ID         string  `json:"id"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Allocs     uint64  `json:"allocs"`
+}
+
 // report mirrors the subset of the bgpbench -benchjson schema benchdiff
 // needs; unknown fields are ignored so older reports still load.
 type report struct {
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	Workers     int     `json:"workers"`
-	Quick       bool    `json:"quick"`
-	GitCommit   string  `json:"git_commit"`
-	Timestamp   string  `json:"timestamp_utc"`
-	TotalMS     float64 `json:"total_ms"`
-	Experiments []struct {
-		ID     string  `json:"id"`
-		WallMS float64 `json:"wall_ms"`
-	} `json:"experiments"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Workers     int                `json:"workers"`
+	Quick       bool               `json:"quick"`
+	GitCommit   string             `json:"git_commit"`
+	Timestamp   string             `json:"timestamp_utc"`
+	TotalMS     float64            `json:"total_ms"`
+	Experiments []reportExperiment `json:"experiments"`
 }
 
 func (r *report) describe() string {
@@ -62,53 +74,82 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
+// gate bundles the comparison policy: the wall-clock threshold (a fraction,
+// e.g. 0.10), the opt-in allocated-bytes threshold (<= 0 disables the alloc
+// gate), and whether a baseline experiment missing from the candidate is a
+// hard failure (strict) or a warning.
+type gate struct {
+	Threshold float64
+	Allocs    float64
+	Strict    bool
+}
+
 // diffRow is one experiment's comparison. Ratio is candidate/baseline
 // wall-clock (>1 means slower) and Pct the same delta as a signed percentage
-// (+ means slower); Missing marks a baseline experiment the candidate did not
-// run, which the gate treats as a regression.
+// (+ means slower); the Alloc fields mirror them for allocated bytes when
+// both reports carry memstats. Missing marks a baseline experiment the
+// candidate did not run.
 type diffRow struct {
 	ID        string
 	BaseMS    float64
 	CandMS    float64
 	Ratio     float64
 	Pct       float64
+	BaseAlloc uint64
+	CandAlloc uint64
+	AllocPct  float64
+	HasAlloc  bool
 	Missing   bool
 	Regressed bool
+	AllocBad  bool
 }
 
-// diff matches experiments by ID in baseline order and applies the gate:
-// an experiment regresses when its wall-clock grew by more than threshold
-// (a fraction, e.g. 0.10). Experiments only in the candidate are appended
-// informationally and never gate.
-func diff(base, cand *report, threshold float64) (rows []diffRow, regressed bool) {
-	candMS := make(map[string]float64, len(cand.Experiments))
+// diff matches experiments by ID in baseline order and applies the gate.
+// Experiments present in only one report become warnings: a baseline
+// experiment the candidate lacks regresses only under g.Strict, and
+// candidate-only experiments are appended informationally and never gate.
+func diff(base, cand *report, g gate) (rows []diffRow, warnings []string, regressed bool) {
+	candExp := make(map[string]reportExperiment, len(cand.Experiments))
 	for _, e := range cand.Experiments {
-		candMS[e.ID] = e.WallMS
+		candExp[e.ID] = e
 	}
 	seen := make(map[string]bool, len(base.Experiments))
 	for _, e := range base.Experiments {
 		seen[e.ID] = true
-		row := diffRow{ID: e.ID, BaseMS: e.WallMS}
-		if ms, ok := candMS[e.ID]; ok {
-			row.CandMS = ms
+		row := diffRow{ID: e.ID, BaseMS: e.WallMS, BaseAlloc: e.AllocBytes}
+		if c, ok := candExp[e.ID]; ok {
+			row.CandMS = c.WallMS
+			row.CandAlloc = c.AllocBytes
 			if e.WallMS > 0 {
-				row.Ratio = ms / e.WallMS
+				row.Ratio = c.WallMS / e.WallMS
 				row.Pct = (row.Ratio - 1) * 100
 			}
-			row.Regressed = row.Ratio > 1+threshold
+			row.Regressed = row.Ratio > 1+g.Threshold
+			if e.AllocBytes > 0 && c.AllocBytes > 0 {
+				row.HasAlloc = true
+				row.AllocPct = (float64(c.AllocBytes)/float64(e.AllocBytes) - 1) * 100
+				if g.Allocs > 0 {
+					row.AllocBad = float64(c.AllocBytes) > float64(e.AllocBytes)*(1+g.Allocs)
+				}
+			}
 		} else {
 			row.Missing = true
-			row.Regressed = true
+			if g.Strict {
+				row.Regressed = true
+			} else {
+				warnings = append(warnings, fmt.Sprintf("%s: in baseline only (candidate did not run it)", e.ID))
+			}
 		}
-		regressed = regressed || row.Regressed
+		regressed = regressed || row.Regressed || row.AllocBad
 		rows = append(rows, row)
 	}
 	for _, e := range cand.Experiments {
 		if !seen[e.ID] {
-			rows = append(rows, diffRow{ID: e.ID, CandMS: e.WallMS})
+			rows = append(rows, diffRow{ID: e.ID, CandMS: e.WallMS, CandAlloc: e.AllocBytes})
+			warnings = append(warnings, fmt.Sprintf("%s: in candidate only (no baseline to compare)", e.ID))
 		}
 	}
-	return rows, regressed
+	return rows, warnings, regressed
 }
 
 // totalDelta compares the reports' whole-run wall-clock. ok is false when
@@ -123,10 +164,15 @@ func totalDelta(base, cand *report, threshold float64) (pct float64, regressed, 
 	return (ratio - 1) * 100, ratio > 1+threshold, true
 }
 
+// mb renders an allocated-byte count for the table.
+func mb(n uint64) string { return fmt.Sprintf("%.1fMB", float64(n)/(1<<20)) }
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "regression gate: fail when an experiment's wall-clock grows by more than this fraction")
+	allocs := flag.Float64("allocs", 0, "opt-in alloc gate: fail when an experiment's alloc_bytes grows by more than this fraction (0 disables)")
+	strict := flag.Bool("strict", false, "treat a baseline experiment missing from the candidate as a regression instead of a warning")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] baseline.json candidate.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] [-allocs frac] [-strict] baseline.json candidate.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -139,7 +185,7 @@ func main() {
 		var cand *report
 		cand, err = load(flag.Arg(1))
 		if err == nil {
-			os.Exit(run(os.Stdout, base, cand, *threshold))
+			os.Exit(run(os.Stdout, base, cand, gate{Threshold: *threshold, Allocs: *allocs, Strict: *strict}))
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
@@ -147,35 +193,49 @@ func main() {
 }
 
 // run prints the comparison and returns the process exit code.
-func run(w *os.File, base, cand *report, threshold float64) int {
+func run(w *os.File, base, cand *report, g gate) int {
 	fmt.Fprintf(w, "baseline:  %s\ncandidate: %s\n\n", base.describe(), cand.describe())
-	rows, regressed := diff(base, cand, threshold)
+	rows, warnings, regressed := diff(base, cand, g)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "experiment\tbaseline ms\tcandidate ms\tratio\tdelta\t")
+	fmt.Fprintln(tw, "experiment\tbaseline ms\tcandidate ms\tratio\tdelta\tallocs\t")
 	for _, r := range rows {
+		alloc := "-"
+		if r.HasAlloc {
+			alloc = fmt.Sprintf("%s -> %s (%+.1f%%)", mb(r.BaseAlloc), mb(r.CandAlloc), r.AllocPct)
+		}
 		switch {
 		case r.Missing:
-			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\t-\tMISSING\n", r.ID, r.BaseMS)
+			verdict := "WARNING: missing"
+			if r.Regressed {
+				verdict = "MISSING"
+			}
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\t-\t-\t%s\n", r.ID, r.BaseMS, verdict)
 		case r.BaseMS == 0:
-			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\t-\tnew\n", r.ID, r.CandMS)
+			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\t-\t-\tnew\n", r.ID, r.CandMS)
 		default:
 			verdict := "ok"
-			if r.Regressed {
-				verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", threshold*100)
-			} else if r.Ratio < 1 {
+			switch {
+			case r.Regressed:
+				verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", g.Threshold*100)
+			case r.AllocBad:
+				verdict = fmt.Sprintf("ALLOC REGRESSED (> +%.0f%%)", g.Allocs*100)
+			case r.Ratio < 1:
 				verdict = fmt.Sprintf("%.2fx faster", 1/r.Ratio)
 			}
-			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.3f\t%+.1f%%\t%s\n", r.ID, r.BaseMS, r.CandMS, r.Ratio, r.Pct, verdict)
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.3f\t%+.1f%%\t%s\t%s\n", r.ID, r.BaseMS, r.CandMS, r.Ratio, r.Pct, alloc, verdict)
 		}
 	}
 	tw.Flush()
-	if pct, totalRegressed, ok := totalDelta(base, cand, threshold); ok {
+	for _, warn := range warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	if pct, totalRegressed, ok := totalDelta(base, cand, g.Threshold); ok {
 		fmt.Fprintf(w, "\ntotal: %.1f ms -> %.1f ms (%.3fx, %+.1f%%)\n",
 			base.TotalMS, cand.TotalMS, cand.TotalMS/base.TotalMS, pct)
 		regressed = regressed || totalRegressed
 	}
 	if regressed {
-		fmt.Fprintf(w, "\nFAIL: wall-clock regression beyond %.0f%% threshold\n", threshold*100)
+		fmt.Fprintf(w, "\nFAIL: regression beyond threshold\n")
 		return 1
 	}
 	return 0

@@ -2,16 +2,24 @@ package main
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
 func mkReport(pairs ...any) *report {
 	r := &report{}
 	for i := 0; i < len(pairs); i += 2 {
-		r.Experiments = append(r.Experiments, struct {
-			ID     string  `json:"id"`
-			WallMS float64 `json:"wall_ms"`
-		}{ID: pairs[i].(string), WallMS: pairs[i+1].(float64)})
+		r.Experiments = append(r.Experiments, reportExperiment{
+			ID: pairs[i].(string), WallMS: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+// withAllocs sets alloc_bytes on the report's experiments in order.
+func withAllocs(r *report, bytes ...uint64) *report {
+	for i, b := range bytes {
+		r.Experiments[i].AllocBytes = b
 	}
 	return r
 }
@@ -21,20 +29,21 @@ func TestDiffGate(t *testing.T) {
 	cases := []struct {
 		name      string
 		cand      *report
-		threshold float64
+		g         gate
 		regressed bool
 	}{
-		{"identical", mkReport("fig7", 1000.0, "fig8", 1000.0), 0.10, false},
-		{"faster", mkReport("fig7", 500.0, "fig8", 900.0), 0.10, false},
-		{"within threshold", mkReport("fig7", 1090.0, "fig8", 1000.0), 0.10, false},
-		{"beyond threshold", mkReport("fig7", 1111.0, "fig8", 1000.0), 0.10, true},
-		{"tight threshold", mkReport("fig7", 1060.0, "fig8", 1000.0), 0.05, true},
-		{"missing experiment", mkReport("fig7", 1000.0), 0.10, true},
-		{"extra experiment never gates", mkReport("fig7", 1000.0, "fig8", 1000.0, "fig9", 9999.0), 0.10, false},
+		{"identical", mkReport("fig7", 1000.0, "fig8", 1000.0), gate{Threshold: 0.10}, false},
+		{"faster", mkReport("fig7", 500.0, "fig8", 900.0), gate{Threshold: 0.10}, false},
+		{"within threshold", mkReport("fig7", 1090.0, "fig8", 1000.0), gate{Threshold: 0.10}, false},
+		{"beyond threshold", mkReport("fig7", 1111.0, "fig8", 1000.0), gate{Threshold: 0.10}, true},
+		{"tight threshold", mkReport("fig7", 1060.0, "fig8", 1000.0), gate{Threshold: 0.05}, true},
+		{"missing experiment warns", mkReport("fig7", 1000.0), gate{Threshold: 0.10}, false},
+		{"missing experiment gates under strict", mkReport("fig7", 1000.0), gate{Threshold: 0.10, Strict: true}, true},
+		{"extra experiment never gates", mkReport("fig7", 1000.0, "fig8", 1000.0, "fig9", 9999.0), gate{Threshold: 0.10}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			rows, regressed := diff(base, tc.cand, tc.threshold)
+			rows, _, regressed := diff(base, tc.cand, tc.g)
 			if regressed != tc.regressed {
 				t.Fatalf("regressed = %v, want %v (rows %+v)", regressed, tc.regressed, rows)
 			}
@@ -45,10 +54,66 @@ func TestDiffGate(t *testing.T) {
 	}
 }
 
+func TestDiffWarnings(t *testing.T) {
+	base := mkReport("fig7", 1000.0, "gone", 100.0)
+	cand := mkReport("fig7", 1000.0, "new", 50.0)
+
+	rows, warnings, regressed := diff(base, cand, gate{Threshold: 0.10})
+	if regressed {
+		t.Fatalf("one-sided experiments must not gate by default: %+v", rows)
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("got %d warnings, want 2: %v", len(warnings), warnings)
+	}
+	if !strings.Contains(warnings[0], "gone") || !strings.Contains(warnings[0], "baseline only") {
+		t.Fatalf("baseline-only warning wrong: %q", warnings[0])
+	}
+	if !strings.Contains(warnings[1], "new") || !strings.Contains(warnings[1], "candidate only") {
+		t.Fatalf("candidate-only warning wrong: %q", warnings[1])
+	}
+
+	_, _, regressed = diff(base, cand, gate{Threshold: 0.10, Strict: true})
+	if !regressed {
+		t.Fatal("-strict must turn a missing baseline experiment into a regression")
+	}
+}
+
+func TestAllocGate(t *testing.T) {
+	base := withAllocs(mkReport("fig7", 1000.0, "fig8", 1000.0), 1<<30, 1<<30)
+	grown := withAllocs(mkReport("fig7", 1000.0, "fig8", 1000.0), 1<<30, 3<<30)
+
+	// The alloc gate is opt-in: without -allocs the growth only reports.
+	rows, _, regressed := diff(base, grown, gate{Threshold: 0.10})
+	if regressed {
+		t.Fatalf("alloc growth must not gate when -allocs is off: %+v", rows)
+	}
+	if !rows[1].HasAlloc || math.Abs(rows[1].AllocPct-200.0) > 1e-9 {
+		t.Fatalf("fig8 alloc delta wrong: %+v", rows[1])
+	}
+
+	rows, _, regressed = diff(base, grown, gate{Threshold: 0.10, Allocs: 0.10})
+	if !regressed || !rows[1].AllocBad || rows[1].Regressed {
+		t.Fatalf("-allocs 0.10 must gate a 3x alloc growth (and not as wall-clock): %+v", rows[1])
+	}
+	if rows[0].AllocBad {
+		t.Fatalf("unchanged allocs must pass the gate: %+v", rows[0])
+	}
+
+	// Reports without memstats (old schema) never trip the alloc gate.
+	old := mkReport("fig7", 1000.0, "fig8", 1000.0)
+	rows, _, regressed = diff(old, grown, gate{Threshold: 0.10, Allocs: 0.10})
+	if regressed {
+		t.Fatalf("alloc gate must skip rows without baseline memstats: %+v", rows)
+	}
+	if rows[0].HasAlloc {
+		t.Fatalf("HasAlloc must require both sides: %+v", rows[0])
+	}
+}
+
 func TestDiffPercentDelta(t *testing.T) {
 	base := mkReport("fig7", 2000.0, "fig8", 800.0)
 	cand := mkReport("fig7", 1000.0, "fig8", 1000.0)
-	rows, _ := diff(base, cand, 0.50)
+	rows, _, _ := diff(base, cand, gate{Threshold: 0.50})
 	if rows[0].Pct != -50.0 {
 		t.Fatalf("fig7 pct = %v, want -50", rows[0].Pct)
 	}
@@ -87,18 +152,15 @@ func TestTotalDelta(t *testing.T) {
 func TestDiffRowShape(t *testing.T) {
 	base := mkReport("fig7", 2000.0, "gone", 100.0)
 	cand := mkReport("fig7", 1000.0, "new", 50.0)
-	rows, regressed := diff(base, cand, 0.10)
-	if !regressed {
-		t.Fatal("missing baseline experiment must regress the gate")
-	}
+	rows, _, _ := diff(base, cand, gate{Threshold: 0.10})
 	if len(rows) != 3 {
 		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
 	}
 	if rows[0].Ratio != 0.5 || rows[0].Regressed {
 		t.Fatalf("fig7 row wrong: %+v", rows[0])
 	}
-	if !rows[1].Missing || !rows[1].Regressed {
-		t.Fatalf("gone row wrong: %+v", rows[1])
+	if !rows[1].Missing || rows[1].Regressed {
+		t.Fatalf("gone row wrong (missing warns, not regresses): %+v", rows[1])
 	}
 	if rows[2].ID != "new" || rows[2].Regressed || rows[2].BaseMS != 0 {
 		t.Fatalf("new row wrong: %+v", rows[2])

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -33,21 +34,37 @@ import (
 // per-experiment (tree partitions default to 2 racks, torus to a midplane).
 // The commit and timestamp make a stored report attributable to a tree state.
 type benchReport struct {
-	GoMaxProcs  int               `json:"gomaxprocs"`
-	Workers     int               `json:"workers"`
-	Quick       bool              `json:"quick"`
-	Reference   bool              `json:"reference,omitempty"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Workers    int  `json:"workers"`
+	Quick      bool `json:"quick"`
+	Reference  bool `json:"reference,omitempty"`
+	// GOGC and GOMemLimit are the effective GC tuning for the run — whatever
+	// -gogc/-gomemlimit or the environment resolved to — so a stored report's
+	// wall-clocks and memstats are attributable to a GC configuration.
+	// GOMemLimit is math.MaxInt64 when no limit is set (Go's "off" value).
+	GOGC        int               `json:"gogc"`
+	GOMemLimit  int64             `json:"gomemlimit"`
 	GitCommit   string            `json:"git_commit,omitempty"`
 	Timestamp   string            `json:"timestamp_utc"`
 	Experiments []experimentTimes `json:"experiments"`
 	TotalMS     float64           `json:"total_ms"`
 }
 
+// experimentTimes carries one experiment's wall-clock and its runtime
+// memstats deltas, measured from after the pre-experiment runtime.GC() to
+// the end of the run: bytes and objects allocated, completed GC cycles, and
+// the process heap footprint (HeapSys: the peak heap the OS has had to back
+// so far — monotone per process, so per-experiment values in one run share a
+// high-water mark).
 type experimentTimes struct {
-	ID     string  `json:"id"`
-	Ranks  int     `json:"ranks"`
-	Iters  int     `json:"iters"`
-	WallMS float64 `json:"wall_ms"`
+	ID           string  `json:"id"`
+	Ranks        int     `json:"ranks"`
+	Iters        int     `json:"iters"`
+	WallMS       float64 `json:"wall_ms"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	Allocs       uint64  `json:"allocs"`
+	GCCycles     uint32  `json:"gc_cycles"`
+	HeapSysBytes uint64  `json:"heap_sys_bytes"`
 }
 
 // gitCommit identifies the working tree for the report, tolerating trees
@@ -72,6 +89,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	par := flag.Int("par", 0, "sweep worker count: cells fan across this many goroutines (0 = GOMAXPROCS, 1 = serial)")
 	reference := flag.Bool("reference", false, "run kernels in noProgram reference mode (rank bodies on pooled goroutines); virtual times are identical, only wall-clock differs")
+	gogc := flag.Int("gogc", 0, "set the GC target percentage for the run (0 = leave GOGC as inherited); the effective value is stamped into -benchjson")
+	gomemlimit := flag.Int64("gomemlimit", 0, "set the soft memory limit in bytes for the run (0 = leave GOMEMLIMIT as inherited); the effective value is stamped into -benchjson")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times to this JSON file (BENCH_SIM.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -79,6 +98,19 @@ func main() {
 
 	coll.Register()
 	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick, Workers: *par, Reference: *reference}
+
+	// Apply GC tuning first, then read back the effective values: the
+	// setters return the previous setting, so a set-and-restore probe reports
+	// the environment's value when no flag overrides it.
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
+	}
+	if *gomemlimit > 0 {
+		debug.SetMemoryLimit(*gomemlimit)
+	}
+	effGOGC := debug.SetGCPercent(100)
+	debug.SetGCPercent(effGOGC)
+	effMemLimit := debug.SetMemoryLimit(-1)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -107,6 +139,8 @@ func main() {
 		Workers:    workers,
 		Quick:      *quick,
 		Reference:  *reference,
+		GOGC:       effGOGC,
+		GOMemLimit: effMemLimit,
 		GitCommit:  gitCommit(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
@@ -120,9 +154,14 @@ func main() {
 		if !selected {
 			continue
 		}
-		// Settle the previous experiment's garbage before the timer starts,
-		// so each wall-clock attributes GC debt to the run that created it.
+		// Settle the previous experiment's garbage — and drop its pooled
+		// worlds — before the timer starts, so each wall-clock and memstats
+		// delta attributes GC debt and construction cost to the run that
+		// created it.
+		bench.DrainWorldPool()
 		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		fig, err := exp.Run(opts)
 		if err != nil {
@@ -130,11 +169,17 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		report.Experiments = append(report.Experiments, experimentTimes{
-			ID:     exp.ID,
-			Ranks:  fig.Ranks,
-			Iters:  fig.Iters,
-			WallMS: float64(wall.Microseconds()) / 1e3,
+			ID:           exp.ID,
+			Ranks:        fig.Ranks,
+			Iters:        fig.Iters,
+			WallMS:       float64(wall.Microseconds()) / 1e3,
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			Allocs:       after.Mallocs - before.Mallocs,
+			GCCycles:     after.NumGC - before.NumGC,
+			HeapSysBytes: after.HeapSys,
 		})
 		if *csv {
 			fig.CSV(os.Stdout)

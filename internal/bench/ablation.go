@@ -16,9 +16,10 @@ import (
 // large-message point).
 const ablationMsg = 2 << 20
 
-// measureTorusBcast is a helper running one quad torus broadcast.
+// measureTorusBcast is a helper running one quad torus broadcast on a pooled
+// world (worldpool.go).
 func measureTorusBcast(cfg hw.Config, algo string, colors int) (sim.Time, error) {
-	w, err := mpi.NewWorld(cfg)
+	w, err := leaseWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -34,6 +35,7 @@ func measureTorusBcast(cfg hw.Config, algo string, colors int) (sim.Time, error)
 			worst = d
 		}
 	})
+	releaseWorld(cfg, w, err)
 	return worst, err
 }
 

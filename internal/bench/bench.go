@@ -157,8 +157,10 @@ func MeasureBcast(cfg hw.Config, algo string, msg, iters int) (sim.Time, error) 
 // MeasureBcastMode is MeasureBcast with an explicit execution mode: reference
 // puts the kernel in noProgram mode, running the identical rank bodies on
 // pooled goroutines. The measured virtual times are the same in both modes.
+// The world comes from the pool (worldpool.go) and returns to it reset, so a
+// sweep constructs one partition per distinct config rather than per cell.
 func MeasureBcastMode(cfg hw.Config, algo string, msg, iters int, reference bool) (sim.Time, error) {
-	w, err := mpi.NewWorld(cfg)
+	w, err := leaseWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -166,28 +168,59 @@ func MeasureBcastMode(cfg hw.Config, algo string, msg, iters int, reference bool
 	w.M.K.SetNoProgram(reference || !mpi.HasProgBcast(algo))
 	var worst sim.Time
 	_, err = w.RunProgram(func(r *mpi.Rank) {
-		buf := r.NewBuf(msg)
-		var elapsed sim.Time
-		var iter func(i int)
-		iter = func(i int) {
-			if i == iters {
-				avg := elapsed / sim.Time(iters)
-				if avg > worst {
-					worst = avg
-				}
-				return
-			}
-			r.BarrierThen(func() {
-				start := r.Now()
-				r.BcastThen(buf, 0, func() {
-					elapsed += r.Now() - start
-					iter(i + 1)
-				})
-			})
-		}
-		iter(0)
+		l := &measureLoop{r: r, buf: r.NewBuf(msg), iters: iters, worst: &worst}
+		l.afterBarrierFn = l.bcastAfterBarrier
+		l.afterOpFn = l.afterOp
+		l.iter()
 	})
+	releaseWorld(cfg, w, err)
 	return worst, err
+}
+
+// measureLoop is the Fig. 5 micro-benchmark loop (barrier; time one
+// collective; repeat) as a state machine: its continuations are method
+// values bound once per rank, where the closure form allocated two per
+// iteration per rank — the dominant bench-side entry in the sweep
+// allocation profile.
+type measureLoop struct {
+	r          *mpi.Rank
+	buf        data.Buf // bcast payload
+	send, recv data.Buf // allreduce operands
+	iters      int
+	i          int
+	elapsed    sim.Time
+	start      sim.Time
+	worst      *sim.Time // shared across the world's ranks; the kernel serializes access
+
+	afterBarrierFn func()
+	afterOpFn      func()
+}
+
+func (l *measureLoop) iter() {
+	if l.i == l.iters {
+		avg := l.elapsed / sim.Time(l.iters)
+		if avg > *l.worst {
+			*l.worst = avg
+		}
+		return
+	}
+	l.r.BarrierThen(l.afterBarrierFn)
+}
+
+func (l *measureLoop) bcastAfterBarrier() {
+	l.start = l.r.Now()
+	l.r.BcastThen(l.buf, 0, l.afterOpFn)
+}
+
+func (l *measureLoop) allreduceAfterBarrier() {
+	l.start = l.r.Now()
+	l.r.AllreduceSumThen(l.send, l.recv, l.afterOpFn)
+}
+
+func (l *measureLoop) afterOp() {
+	l.elapsed += l.r.Now() - l.start
+	l.i++
+	l.iter()
 }
 
 // MeasureAllreduce runs the micro-benchmark for one allreduce configuration.
@@ -196,9 +229,9 @@ func MeasureAllreduce(cfg hw.Config, algo string, doubles, iters int) (sim.Time,
 }
 
 // MeasureAllreduceMode is MeasureAllreduce with an explicit execution mode
-// (see MeasureBcastMode).
+// (see MeasureBcastMode); the world is pooled the same way.
 func MeasureAllreduceMode(cfg hw.Config, algo string, doubles, iters int, reference bool) (sim.Time, error) {
-	w, err := mpi.NewWorld(cfg)
+	w, err := leaseWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -207,28 +240,12 @@ func MeasureAllreduceMode(cfg hw.Config, algo string, doubles, iters int, refere
 	bytes := doubles * data.Float64Len
 	var worst sim.Time
 	_, err = w.RunProgram(func(r *mpi.Rank) {
-		send := r.NewBuf(bytes)
-		recv := r.NewBuf(bytes)
-		var elapsed sim.Time
-		var iter func(i int)
-		iter = func(i int) {
-			if i == iters {
-				avg := elapsed / sim.Time(iters)
-				if avg > worst {
-					worst = avg
-				}
-				return
-			}
-			r.BarrierThen(func() {
-				start := r.Now()
-				r.AllreduceSumThen(send, recv, func() {
-					elapsed += r.Now() - start
-					iter(i + 1)
-				})
-			})
-		}
-		iter(0)
+		l := &measureLoop{r: r, send: r.NewBuf(bytes), recv: r.NewBuf(bytes), iters: iters, worst: &worst}
+		l.afterBarrierFn = l.allreduceAfterBarrier
+		l.afterOpFn = l.afterOp
+		l.iter()
 	})
+	releaseWorld(cfg, w, err)
 	return worst, err
 }
 

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// poolCell is one measurement whose result must not depend on whether its
+// world was freshly constructed or leased from the pool.
+type poolCell struct {
+	name string
+	cfg  hw.Config
+	run  func() (sim.Time, error)
+}
+
+// poolCells covers every tree broadcast family plus an allreduce, in both
+// the production and the reference kernel modes, at golden (2x2x2) scale.
+func poolCells() []poolCell {
+	var cells []poolCell
+	add := func(name string, cfg hw.Config, run func() (sim.Time, error)) {
+		cells = append(cells, poolCell{name: name, cfg: cfg, run: run})
+	}
+	for _, reference := range []bool{false, true} {
+		reference := reference
+		tag := "prod"
+		if reference {
+			tag = "ref"
+		}
+		quad := goldenConfig(hw.Quad)
+		for _, algo := range []string{mpi.BcastTreeShaddr, mpi.BcastTreeDMAFIFO, mpi.BcastTreeDMADirect} {
+			algo := algo
+			add(fmt.Sprintf("%s/%s", algo, tag), quad, func() (sim.Time, error) {
+				return MeasureBcastMode(quad, algo, 64<<10, 2, reference)
+			})
+		}
+		smp := goldenConfig(hw.SMP)
+		add(fmt.Sprintf("%s/%s", mpi.BcastTreeSMP, tag), smp, func() (sim.Time, error) {
+			return MeasureBcastMode(smp, mpi.BcastTreeSMP, 64<<10, 2, reference)
+		})
+		add(fmt.Sprintf("%s/%s", mpi.AllreduceTorusNew, tag), quad, func() (sim.Time, error) {
+			return MeasureAllreduceMode(quad, mpi.AllreduceTorusNew, 1024, 1, reference)
+		})
+	}
+	return cells
+}
+
+// TestPooledWorldMeasuresIdentically runs each cell twice: the first run
+// constructs its world (the pool is drained), the second leases the world
+// the first released. The virtual time must be bit-identical — the pooled
+// world is indistinguishable from a fresh one.
+func TestPooledWorldMeasuresIdentically(t *testing.T) {
+	for _, c := range poolCells() {
+		DrainWorldPool()
+		fresh, err := c.run()
+		if err != nil {
+			t.Fatalf("%s fresh: %v", c.name, err)
+		}
+		if n := PooledWorlds(); n != 1 {
+			t.Fatalf("%s: %d pooled worlds after fresh run, want 1", c.name, n)
+		}
+		reused, err := c.run()
+		if err != nil {
+			t.Fatalf("%s reused: %v", c.name, err)
+		}
+		if reused != fresh {
+			t.Fatalf("%s: pooled world measured %v, fresh world %v", c.name, reused, fresh)
+		}
+		if n := PooledWorlds(); n != 1 {
+			t.Fatalf("%s: %d pooled worlds after reuse, want 1 (lease must pop, release must push)", c.name, n)
+		}
+	}
+	DrainWorldPool()
+	if n := PooledWorlds(); n != 0 {
+		t.Fatalf("%d pooled worlds after drain", n)
+	}
+}
+
+// TestWorldPoolParallelSweep drives the pool from concurrent workers, the
+// way `bgpbench -par` does: each cell is measured several times in parallel
+// and every result must match the serial answer. Run under -race this also
+// checks the lease/release locking.
+func TestWorldPoolParallelSweep(t *testing.T) {
+	cells := poolCells()
+	serial := make([]sim.Time, len(cells))
+	DrainWorldPool()
+	for i, c := range cells {
+		v, err := c.run()
+		if err != nil {
+			t.Fatalf("%s serial: %v", c.name, err)
+		}
+		serial[i] = v
+	}
+
+	const repeats = 3
+	DrainWorldPool()
+	got := make([]sim.Time, len(cells)*repeats)
+	err := parallelEach(4, len(got), func(i int) error {
+		v, err := cells[i%len(cells)].run()
+		got[i] = v
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		c := cells[i%len(cells)]
+		if v != serial[i%len(cells)] {
+			t.Errorf("%s (parallel job %d): got %v, serial %v", c.name, i, v, serial[i%len(cells)])
+		}
+	}
+	// The pool never holds more worlds per config than workers that ran one.
+	if n := PooledWorlds(); n == 0 || n > 4*len(cells) {
+		t.Fatalf("%d pooled worlds after parallel sweep", n)
+	}
+	DrainWorldPool()
+}

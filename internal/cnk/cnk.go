@@ -148,6 +148,15 @@ func (w *Process) insert(rk regionKey) {
 	w.mapped = append(w.mapped, rk)
 }
 
+// Reset evicts every resident mapping and zeroes the statistics, returning
+// the process-window state to its post-NewProcess condition. A reused
+// partition (mpi.World.Reset) must start with cold TLB slots: a warm map
+// cache would skip system calls a fresh world pays, changing virtual times.
+func (w *Process) Reset() {
+	w.mapped = w.mapped[:0]
+	w.Syscalls, w.MapCalls, w.CacheHits, w.Evictions = 0, 0, 0, 0
+}
+
 // Resident returns the number of occupied TLB slots.
 func (w *Process) Resident() int { return len(w.mapped) }
 

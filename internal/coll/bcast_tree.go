@@ -84,57 +84,97 @@ func treeFinish(r *mpi.Rank, st *treeBcastState, seq int64, buf data.Buf, root i
 	}
 }
 
-// injectAllThen drives one node's injection side: the root's injector feeds
+// The chunk loops below are explicit state machines rather than recursive
+// closures: each one is a small struct whose continuation is a method value
+// bound once per rank per broadcast. A closure-based loop allocates its
+// continuations once per *chunk*, and at 8192 ranks times tens of chunks the
+// continuation garbage dominated the sweep allocation profile. The
+// registration sequence (which *Then runs, in what order, with what plan
+// contents) is identical to the closure form, so virtual times are
+// bit-for-bit unchanged.
+
+// injectLoop drives one node's injection side: the root's injector feeds
 // the payload, every other node's injector feeds zeros into the global OR
 // (paper §V-B). Injection is windowed against delivery to model the
 // network's finite buffering.
-func injectAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
-	net := r.Machine().Tree
-	p := r.Proc()
-	var step func(i int)
-	step = func(i int) {
-		if i == len(st.spans) {
-			cont()
-			return
-		}
-		touch := net.TouchTime(st.spans[i].Len)
-		after := func() {
-			st.ops[i].Inject()
-			step(i + 1)
-		}
-		if i >= injectWindow {
-			pl := p.NewPlan()
-			pl.Sleep(touch)
-			p.WaitPlanThen(st.ops[i-injectWindow].Delivered(), pl, after)
-		} else {
-			p.SleepThen(touch, after)
-		}
-	}
-	step(0)
+type injectLoop struct {
+	st      *treeBcastState
+	net     *tree.Network
+	p       *sim.Proc
+	i       int
+	cont    func()
+	afterFn func() // bound method value: after, allocated once
 }
 
-// receiveAllThen drives one node's reception side, paying the core
-// packet-touch cost per chunk and publishing progress to the node's software
-// counter.
-func receiveAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
-	net := r.Machine().Tree
-	sw := st.sw[r.NodeID()]
-	p := r.Proc()
-	var step func(i int)
-	step = func(i int) {
-		if i == len(st.spans) {
-			cont()
-			return
-		}
-		span := st.spans[i]
-		pl := p.NewPlan()
-		pl.Sleep(net.TouchTime(span.Len))
-		p.WaitPlanThen(st.ops[i].Delivered(), pl, func() {
-			sw.Add(int64(span.Len))
-			step(i + 1)
-		})
+func injectAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
+	l := &injectLoop{st: st, net: r.Machine().Tree, p: r.Proc(), cont: cont}
+	l.afterFn = l.after
+	l.step()
+}
+
+func (l *injectLoop) step() {
+	if l.i == len(l.st.spans) {
+		l.cont()
+		return
 	}
-	step(0)
+	touch := l.net.TouchTime(l.st.spans[l.i].Len)
+	if l.i >= injectWindow {
+		pl := l.p.NewPlan()
+		pl.Sleep(touch)
+		l.p.WaitPlanThen(l.st.ops[l.i-injectWindow].Delivered(), pl, l.afterFn)
+	} else {
+		l.p.SleepThen(touch, l.afterFn)
+	}
+}
+
+func (l *injectLoop) after() {
+	l.st.ops[l.i].Inject()
+	l.i++
+	l.step()
+}
+
+// recvLoop drives one node's reception side, paying the core packet-touch
+// cost per chunk and publishing progress to the node's software counter (sw
+// may be nil for observers that only pace delivery, like the SMP helper
+// thread).
+type recvLoop struct {
+	st      *treeBcastState
+	net     *tree.Network
+	sw      *sim.Counter
+	p       *sim.Proc
+	i       int
+	cont    func()
+	afterFn func()
+}
+
+func receiveAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
+	recvAllOn(r.Proc(), r.Machine().Tree, st, st.sw[r.NodeID()], cont)
+}
+
+// recvAllOn is receiveAllThen for an explicit process (the SMP helper runs
+// it on a spawned communication thread rather than the rank's own process).
+func recvAllOn(p *sim.Proc, net *tree.Network, st *treeBcastState, sw *sim.Counter, cont func()) {
+	l := &recvLoop{st: st, net: net, sw: sw, p: p, cont: cont}
+	l.afterFn = l.after
+	l.step()
+}
+
+func (l *recvLoop) step() {
+	if l.i == len(l.st.spans) {
+		l.cont()
+		return
+	}
+	pl := l.p.NewPlan()
+	pl.Sleep(l.net.TouchTime(l.st.spans[l.i].Len))
+	l.p.WaitPlanThen(l.st.ops[l.i].Delivered(), pl, l.afterFn)
+}
+
+func (l *recvLoop) after() {
+	if l.sw != nil {
+		l.sw.Add(int64(l.st.spans[l.i].Len))
+	}
+	l.i++
+	l.step()
 }
 
 // masterPumpThen drives both sides of the collective network on a single
@@ -145,67 +185,105 @@ func receiveAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
 // specialization removes. onRecv runs after each chunk's reception cost and
 // must call k exactly once when its own work completes.
 func masterPumpThen(r *mpi.Rank, st *treeBcastState, onRecv func(i int, span hw.Span, k func()), cont func()) {
-	net := r.Machine().Tree
-	p := r.Proc()
-	recvIdx := 0
-	recvOne := func(k func()) {
-		i := recvIdx
-		span := st.spans[i]
-		p.SleepThen(net.TouchTime(span.Len), func() {
-			onRecv(i, span, func() {
-				recvIdx++
-				k()
-			})
-		})
+	m := &masterPump{st: st, net: r.Machine().Tree, p: r.Proc(), onRecv: onRecv, cont: cont}
+	m.afterInjectFn = m.afterInject
+	m.enterRecvFn = m.enterRecv
+	m.afterRecvFn = m.afterRecv
+	m.inject()
+}
+
+// masterPump is masterPumpThen's state machine. phase records what the pump
+// was doing when it parked for a reception, so afterRecv can resume exactly
+// where the closure form's captured continuation would have: back into the
+// opportunistic drain loop, retrying a window-blocked injection, or draining
+// the tail.
+type masterPump struct {
+	st     *treeBcastState
+	net    *tree.Network
+	p      *sim.Proc
+	onRecv func(i int, span hw.Span, k func())
+	cont   func()
+
+	injIdx  int
+	recvIdx int
+	phase   uint8
+
+	afterInjectFn func()
+	enterRecvFn   func()
+	afterRecvFn   func()
+}
+
+const (
+	pumpDrain uint8 = iota // receive came from drain: drain again, then inject
+	pumpRetry              // receive unblocked the window: retry the same injection
+	pumpTail               // injection done: keep receiving until all chunks land
+)
+
+func (m *masterPump) inject() {
+	if m.injIdx == len(m.st.spans) {
+		m.tail()
+		return
 	}
-	// recvBlocked is recvOne behind a not-yet-delivered chunk: the wait and
-	// the reception packet-touch fuse into one parked stretch.
-	recvBlocked := func(k func()) {
-		i := recvIdx
-		span := st.spans[i]
-		pl := p.NewPlan()
-		pl.Sleep(net.TouchTime(span.Len))
-		p.WaitPlanThen(st.ops[i].Delivered(), pl, func() {
-			onRecv(i, span, func() {
-				recvIdx++
-				k()
-			})
-		})
+	// Injection back-pressure: the network buffers only a few chunks.
+	if m.injIdx-m.recvIdx >= injectWindow {
+		m.phase = pumpRetry
+		m.recvBlocked()
+		return
 	}
-	var drain func(k func())
-	drain = func(k func()) {
-		if recvIdx < len(st.spans) && st.ops[recvIdx].Delivered().Fired() {
-			recvOne(func() { drain(k) })
-			return
-		}
-		k()
+	// Inject (data or zeros): one packet-touch on the pumping core.
+	m.p.SleepThen(m.net.TouchTime(m.st.spans[m.injIdx].Len), m.afterInjectFn)
+}
+
+func (m *masterPump) afterInject() {
+	m.st.ops[m.injIdx].Inject()
+	m.injIdx++
+	m.drain()
+}
+
+// drain opportunistically receives every chunk the network has already
+// delivered before the pump injects the next one.
+func (m *masterPump) drain() {
+	if m.recvIdx < len(m.st.spans) && m.st.ops[m.recvIdx].Delivered().Fired() {
+		m.phase = pumpDrain
+		m.p.SleepThen(m.net.TouchTime(m.st.spans[m.recvIdx].Len), m.enterRecvFn)
+		return
 	}
-	var tail func()
-	tail = func() {
-		if recvIdx < len(st.spans) {
-			recvBlocked(tail)
-			return
-		}
-		cont()
+	m.inject()
+}
+
+func (m *masterPump) tail() {
+	if m.recvIdx < len(m.st.spans) {
+		m.phase = pumpTail
+		m.recvBlocked()
+		return
 	}
-	var inject func(i int)
-	inject = func(i int) {
-		if i == len(st.spans) {
-			tail()
-			return
-		}
-		// Injection back-pressure: the network buffers only a few chunks.
-		if i-recvIdx >= injectWindow {
-			recvBlocked(func() { inject(i) })
-			return
-		}
-		span := st.spans[i]
-		p.SleepThen(net.TouchTime(span.Len), func() { // inject (data or zeros)
-			st.ops[i].Inject()
-			drain(func() { inject(i + 1) })
-		})
+	m.cont()
+}
+
+// recvBlocked parks behind a not-yet-delivered chunk: the wait and the
+// reception packet-touch fuse into one parked stretch.
+func (m *masterPump) recvBlocked() {
+	i := m.recvIdx
+	pl := m.p.NewPlan()
+	pl.Sleep(m.net.TouchTime(m.st.spans[i].Len))
+	m.p.WaitPlanThen(m.st.ops[i].Delivered(), pl, m.enterRecvFn)
+}
+
+func (m *masterPump) enterRecv() {
+	i := m.recvIdx
+	m.onRecv(i, m.st.spans[i], m.afterRecvFn)
+}
+
+func (m *masterPump) afterRecv() {
+	m.recvIdx++
+	switch m.phase {
+	case pumpDrain:
+		m.drain()
+	case pumpRetry:
+		m.inject()
+	default:
+		m.tail()
 	}
-	inject(0)
 }
 
 // bcastTreeSMP is the current SMP-mode algorithm (paper §V-B): the main
@@ -220,18 +298,7 @@ func bcastTreeSMP(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	k := r.Machine().K
 	helperDone := k.NewEvent(fmt.Sprintf("treebc%d.helper%d", seq, r.Rank()))
 	k.SpawnProgram(fmt.Sprintf("rank%d.comm", r.Rank()), func(p *sim.Proc) {
-		net := r.Machine().Tree
-		var step func(i int)
-		step = func(i int) {
-			if i == len(st.spans) {
-				helperDone.Fire()
-				return
-			}
-			pl := p.NewPlan()
-			pl.Sleep(net.TouchTime(st.spans[i].Len))
-			p.WaitPlanThen(st.ops[i].Delivered(), pl, func() { step(i + 1) })
-		}
-		step(0)
+		recvAllOn(p, r.Machine().Tree, st, nil, helperDone.Fire)
 	})
 	finish := treeFinish(r, st, seq, buf, root, done)
 	injectAllThen(r, st, func() {
@@ -270,31 +337,47 @@ func bcastTreeShmem(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	}
 }
 
-// treePeerCopyThen is the peer-side copy loop shared by the shmem and shaddr
+// peerCopyLoop is the peer-side copy loop shared by the shmem and shaddr
 // algorithms: wait on the node's software counter and copy arrived chunks.
+type peerCopyLoop struct {
+	st     *treeBcastState
+	sw     *sim.Counter
+	done   *sim.Counter
+	p      *sim.Proc
+	node   *hw.Node
+	isRoot bool
+	cached bool
+	i      int
+	got    int64
+	cont   func()
+	stepFn func()
+}
+
 func treePeerCopyThen(r *mpi.Rank, st *treeBcastState, root int, cached bool, cont func()) {
-	sw := st.sw[r.NodeID()]
-	isRoot := r.Rank() == root
-	p := r.Proc()
-	node := r.Node().HW
-	var step func(i int, got int64)
-	step = func(i int, got int64) {
-		if i == len(st.spans) {
-			st.done[r.NodeID()].Add(1)
-			cont()
-			return
-		}
-		span := st.spans[i]
-		got += int64(span.Len)
-		pl := p.NewPlan()
-		if !isRoot {
-			node.PlanPoll(pl)
-			node.PlanCopy(pl, span.Len, cached)
-		}
-		g := got
-		p.WaitGEPlanThen(sw, g, pl, func() { step(i+1, g) })
+	n := r.NodeID()
+	l := &peerCopyLoop{
+		st: st, sw: st.sw[n], done: st.done[n], p: r.Proc(), node: r.Node().HW,
+		isRoot: r.Rank() == root, cached: cached, cont: cont,
 	}
-	step(0, 0)
+	l.stepFn = l.step
+	l.step()
+}
+
+func (l *peerCopyLoop) step() {
+	if l.i == len(l.st.spans) {
+		l.done.Add(1)
+		l.cont()
+		return
+	}
+	span := l.st.spans[l.i]
+	l.got += int64(span.Len)
+	pl := l.p.NewPlan()
+	if !l.isRoot {
+		l.node.PlanPoll(pl)
+		l.node.PlanCopy(pl, span.Len, l.cached)
+	}
+	l.i++
+	l.p.WaitGEPlanThen(l.sw, l.got, pl, l.stepFn)
 }
 
 // bcastTreeDMAFIFO is the current quad-mode algorithm: the master core
@@ -327,36 +410,53 @@ func treeDMACommon(r *mpi.Rank, buf data.Buf, root int, fifo bool, done func()) 
 		masterPumpThen(r, st, func(i int, span hw.Span, k func()) {
 			for p := 1; p < ppn; p++ {
 				putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
-				cnt := st.peer[node][p]
-				n := int64(span.Len)
-				m.K.At(putDone, func() { cnt.Add(n) })
+				// AddAt is the closure-free At(putDone, func() { cnt.Add(n) }):
+				// one scheduled add per (chunk, peer) was the sweep's single
+				// hottest allocation site.
+				m.K.AddAt(putDone, st.peer[node][p], int64(span.Len))
 			}
 			k()
 		}, finish)
 	} else {
-		cnt := st.peer[node][r.LocalRank()]
-		isRoot := r.Rank() == root
-		p := r.Proc()
-		hwNode := r.Node().HW
-		var step func(i int, got int64)
-		step = func(i int, got int64) {
-			if i == len(st.spans) {
-				finish()
-				return
-			}
-			span := st.spans[i]
-			got += int64(span.Len)
-			pl := p.NewPlan()
-			if fifo && !isRoot {
-				// Memory-FIFO reception needs a core copy into the
-				// application buffer.
-				hwNode.PlanCopy(pl, span.Len, cached)
-			}
-			g := got
-			p.WaitGEPlanThen(cnt, g, pl, func() { step(i+1, g) })
+		l := &dmaPeerLoop{
+			st: st, cnt: st.peer[node][r.LocalRank()], p: r.Proc(), node: r.Node().HW,
+			fifoCopy: fifo && r.Rank() != root, cached: cached, cont: finish,
 		}
-		step(0, 0)
+		l.stepFn = l.step
+		l.step()
 	}
+}
+
+// dmaPeerLoop is the peer-side reception loop of the DMA broadcasts: wait on
+// the per-peer DMA progress counter and, in FIFO mode, pay the core copy from
+// the memory FIFO into the application buffer.
+type dmaPeerLoop struct {
+	st       *treeBcastState
+	cnt      *sim.Counter
+	p        *sim.Proc
+	node     *hw.Node
+	fifoCopy bool
+	cached   bool
+	i        int
+	got      int64
+	cont     func()
+	stepFn   func()
+}
+
+func (l *dmaPeerLoop) step() {
+	if l.i == len(l.st.spans) {
+		l.cont()
+		return
+	}
+	span := l.st.spans[l.i]
+	l.got += int64(span.Len)
+	pl := l.p.NewPlan()
+	if l.fifoCopy {
+		// Memory-FIFO reception needs a core copy into the application buffer.
+		l.node.PlanCopy(pl, span.Len, l.cached)
+	}
+	l.i++
+	l.p.WaitGEPlanThen(l.cnt, l.got, pl, l.stepFn)
 }
 
 // bcastTreeShaddr is the proposed quad-mode algorithm (paper §V-B, Fig. 4):
@@ -446,40 +546,17 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 		r.Proc().WaitGEThen(sw, 1, func() {
 			r.CNK().MapThen(r.Proc(), windowKey(1, st.rxBuf[node]), total, func() {
 				fillInjector := r.RankOf(node, 0) != root
-				run := func() {
-					isRoot := r.Rank() == root
-					p := r.Proc()
-					hwNode := r.Node().HW
-					var step func(i int, got int64)
-					step = func(i int, got int64) {
-						if i == len(st.spans) {
-							st.done[node].Add(1)
-							finish()
-							return
-						}
-						span := st.spans[i]
-						got += int64(span.Len)
-						pl := p.NewPlan()
-						hwNode.PlanPoll(pl)
-						if !isRoot {
-							hwNode.PlanCopy(pl, span.Len, cached)
-						}
-						if fillInjector {
-							// The extra copy into rank 0's buffer; memory
-							// bandwidth exceeds the tree's, so this does not
-							// throttle the flow.
-							hwNode.PlanCopy(pl, span.Len, cached)
-							pl.Add(st.fill[node], int64(span.Len))
-						}
-						g := got
-						p.WaitGEPlanThen(sw, g, pl, func() { step(i+1, g) })
-					}
-					step(0, 0)
+				l := &shaddrCopyLoop{
+					st: st, sw: sw, done: st.done[node], fill: st.fill[node],
+					p: r.Proc(), node: r.Node().HW,
+					isRoot: r.Rank() == root, fillInjector: fillInjector,
+					cached: cached, cont: finish,
 				}
+				l.stepFn = l.step
 				if fillInjector {
-					r.CNK().MapThen(r.Proc(), windowKey(0, st.r0Buf[node]), total, run)
+					r.CNK().MapThen(r.Proc(), windowKey(0, st.r0Buf[node]), total, l.stepFn)
 				} else {
-					run()
+					l.step()
 				}
 			})
 		})
@@ -492,4 +569,46 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 			})
 		})
 	}
+}
+
+// shaddrCopyLoop is the shaddr rank-2 copy loop: poll the reception rank's
+// software counter, copy arrived chunks through the process window, and —
+// when the injector is not the root — fill rank 0's buffer too (the extra
+// copy rides the same plan; memory bandwidth exceeds the tree's, so it does
+// not throttle the flow).
+type shaddrCopyLoop struct {
+	st           *treeBcastState
+	sw           *sim.Counter
+	done         *sim.Counter
+	fill         *sim.Counter
+	p            *sim.Proc
+	node         *hw.Node
+	isRoot       bool
+	fillInjector bool
+	cached       bool
+	i            int
+	got          int64
+	cont         func()
+	stepFn       func()
+}
+
+func (l *shaddrCopyLoop) step() {
+	if l.i == len(l.st.spans) {
+		l.done.Add(1)
+		l.cont()
+		return
+	}
+	span := l.st.spans[l.i]
+	l.got += int64(span.Len)
+	pl := l.p.NewPlan()
+	l.node.PlanPoll(pl)
+	if !l.isRoot {
+		l.node.PlanCopy(pl, span.Len, l.cached)
+	}
+	if l.fillInjector {
+		l.node.PlanCopy(pl, span.Len, l.cached)
+		pl.Add(l.fill, int64(span.Len))
+	}
+	l.i++
+	l.p.WaitGEPlanThen(l.sw, l.got, pl, l.stepFn)
 }

@@ -122,6 +122,38 @@ func TestSimDeterminismProgramFrameSite(t *testing.T) {
 	runFixture(t, SimDeterminism, "bgpcoll/internal/sim", "testdata/simdeterminism_sim")
 }
 
+func TestWorldReuse(t *testing.T) {
+	runFixture(t, WorldReuse, "bgpcoll/internal/coll", "testdata/worldreuse")
+}
+
+// TestWorldReuseBenchSite checks the pool-file exemption is file-specific:
+// worldpool.go under bgpcoll/internal/bench may reset and retain, any
+// sibling file may not.
+func TestWorldReuseBenchSite(t *testing.T) {
+	runFixture(t, WorldReuse, "bgpcoll/internal/bench", "testdata/worldreuse_bench")
+}
+
+// TestWorldReusePoolFileIsPathSpecific loads the bench fixture under a
+// different sim-driven import path: worldpool.go loses its exemption there,
+// adding its Reset call and its pool variable to the two always-flagged
+// sites.
+func TestWorldReusePoolFileIsPathSpecific(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/worldreuse_bench", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{WorldReuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4 (worldpool.go exemption must be path-specific):", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
 func TestMapOrder(t *testing.T) {
 	runFixture(t, MapOrder, "bgpcoll/internal/mpi", "testdata/maporder")
 }

@@ -72,7 +72,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full bgplint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimDeterminism, RawGoroutine, MapOrder, AtomicDiscipline}
+	return []*Analyzer{SimDeterminism, RawGoroutine, MapOrder, AtomicDiscipline, WorldReuse}
 }
 
 // ByName returns the named analyzer, or nil.

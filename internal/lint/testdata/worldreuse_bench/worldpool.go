@@ -1,0 +1,26 @@
+package bench
+
+// This file mirrors the sanctioned lease/reset site
+// internal/bench/worldpool.go: under bgpcoll/internal/bench, and only in
+// this file, the pool may reset worlds in place and park them in
+// package-level state (the pool map reaches *sim.Proc through the worlds'
+// rank registries).
+
+type World struct{ generation int }
+
+func (w *World) Reset() { w.generation++ }
+
+type Proc struct{ idx uint32 }
+
+// pooledWorld reaches a handle type, as the real pool map does.
+type pooledWorld struct {
+	w    *World
+	proc *Proc
+}
+
+var pool []pooledWorld
+
+func release(w *World) {
+	w.Reset()
+	pool = append(pool, pooledWorld{w: w})
+}

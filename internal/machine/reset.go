@@ -1,0 +1,23 @@
+package machine
+
+// Reset returns a partition whose last run completed cleanly to its
+// post-New state without rebuilding anything: the kernel rewinds its clock,
+// queues, arena, and every pipe (torus links, tree channel, node buses, DMA
+// engines all reserve through kernel-registered pipes), and the tree network
+// restarts its operation numbering so a reused partition names events
+// exactly like a fresh one. The node/network object graph — 8192 hw.Nodes,
+// DMA engines, lazily created torus links — is kept as is; none of it holds
+// per-run state outside the kernel.
+//
+// Reset panics (from sim.Kernel.Reset) if the previous run failed: a
+// deadlocked kernel still has parked processes that cannot be reclaimed.
+// Callers pool only cleanly finished machines and drop the rest.
+//
+// This file is a sanctioned Reset site for the bgplint worldreuse rule:
+// reset must stay a single choke point per layer so handles cannot silently
+// survive a lease boundary.
+func (m *Machine) Reset() {
+	m.K.Reset()
+	m.Tree.Reset()
+	m.Trace = nil
+}

@@ -14,6 +14,7 @@ import (
 type Rank struct {
 	w      *World
 	id     int
+	name   string // process name ("rankN"), formatted once at NewWorld
 	nodeID int
 	lrank  int
 	node   *machine.Node

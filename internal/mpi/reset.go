@@ -1,0 +1,34 @@
+package mpi
+
+// Reset returns a world whose last run completed cleanly to its
+// post-NewWorld state without rebuilding the partition: the machine resets
+// (kernel clock/queues/arena/pipes, tree op numbering), every rank rewinds
+// its collective sequence number, drops its process handle, empties its
+// mailbox, and cools its CNK map cache, the shared-op registry is cleared,
+// and the tunables return to the automatic defaults. A reused world is
+// indistinguishable from a fresh one: the determinism stress tests compare
+// their virtual times bit for bit.
+//
+// Reset panics (from sim.Kernel.Reset) if the previous run failed; callers
+// pool only cleanly finished worlds and drop the rest.
+//
+// This file is a sanctioned Reset site for the bgplint worldreuse rule.
+func (w *World) Reset() {
+	w.M.Reset()
+	w.Tunables = DefaultTunables()
+	clear(w.ops)
+	for _, r := range w.ranks {
+		r.proc = nil
+		r.seq = 0
+		r.inbox.reset()
+		r.cnk.Reset()
+	}
+}
+
+// reset empties the mailbox for a reused world. A clean run normally matches
+// every arrival, but an algorithm may legitimately finish with stray eager
+// arrivals it never received; none of them may leak into the next lease.
+func (b *mailbox) reset() {
+	clear(b.arrived)
+	clear(b.posted)
+}

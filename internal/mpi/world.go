@@ -74,6 +74,7 @@ func NewWorld(cfg hw.Config) (*World, error) {
 		w.ranks[id] = &Rank{
 			w:      w,
 			id:     id,
+			name:   fmt.Sprintf("rank%d", id),
 			nodeID: nodeID,
 			lrank:  lrank,
 			node:   node,
@@ -95,7 +96,7 @@ func (w *World) Rank(id int) *Rank { return w.ranks[id] }
 // simulation until all ranks return. It returns the virtual time consumed.
 func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
 	for _, r := range w.ranks {
-		r.proc = w.M.K.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		r.proc = w.M.K.Spawn(r.name, func(p *sim.Proc) {
 			fn(r)
 		})
 	}
@@ -112,7 +113,7 @@ func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
 // from the blocking transcription.
 func (w *World) RunProgram(fn func(r *Rank)) (sim.Time, error) {
 	for _, r := range w.ranks {
-		r.proc = w.M.K.SpawnProgram(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		r.proc = w.M.K.SpawnProgram(r.name, func(p *sim.Proc) {
 			fn(r)
 		})
 	}

@@ -7,6 +7,19 @@
 // kernel in one sweep (nothing is freed piecemeal; dropping the Kernel drops
 // every slab).
 //
+// Slabs are retained, not consumed: the arena keeps every slab it has ever
+// made and tracks only a high-water count per kind. Two things depend on
+// that. First, Kernel.Reset rewinds the counts to zero and the next run
+// re-carves the same memory — a reused world allocates nothing on the carve
+// path. Second, an object's position is stable for the kernel's lifetime, so
+// a Proc is addressable by its dense uint32 index (slab number in the high
+// bits, slot in the low bits) and the scheduler's queue entries can reference
+// processes without holding pointers the GC would have to trace (see entry in
+// kernel.go).
+//
+// Constructors must fully reinitialize every field of a carved object: after
+// a Reset the slot still holds the previous run's state.
+//
 // Slabs are safe without locking for the same reason all kernel state is:
 // NewEvent/NewCounter/Spawn only run under the virtual-CPU token (or before
 // Run starts), so a kernel's arena is single-threaded even when multiple
@@ -14,45 +27,69 @@
 package sim
 
 // slab sizes: large enough to amortize the make, small enough that a tiny
-// unit-test kernel does not waste visible memory.
+// unit-test kernel does not waste visible memory. Proc slabs are sized by the
+// shift because proc indices pack (slab, slot) into a uint32.
 const (
 	eventSlabSize   = 512
 	counterSlabSize = 256
-	procSlabSize    = 256
+
+	procSlabShift = 8
+	procSlabSize  = 1 << procSlabShift
+	procSlotMask  = procSlabSize - 1
 )
 
-// arena holds the kernel's current partially-consumed slabs plus the
-// reusable wake batch buffer (see Counter.release).
+// arena holds the kernel's slabs plus the reusable wake batch buffer (see
+// Counter.release). nEvents/nCounters/nProcs count the objects carved since
+// the last reset; the corresponding slab slices only ever grow.
 type arena struct {
-	events   []Event
-	counters []Counter
-	procs    []Proc
-	wakeBuf  []entry
+	events    [][]Event
+	nEvents   int
+	counters  [][]Counter
+	nCounters int
+	procs     [][]Proc
+	nProcs    int
+	wakeBuf   []entry
+}
+
+// reset rewinds the carve counts so the next run reuses the same slabs. The
+// stale contents are harmless: constructors reinitialize every field, and
+// anything a stale slot still references belongs to this same kernel's object
+// graph (which stays live regardless).
+func (a *arena) reset() {
+	a.nEvents, a.nCounters, a.nProcs = 0, 0, 0
 }
 
 func (a *arena) newEvent() *Event {
-	if len(a.events) == 0 {
-		a.events = make([]Event, eventSlabSize)
+	slab, slot := a.nEvents/eventSlabSize, a.nEvents%eventSlabSize
+	if slab == len(a.events) {
+		a.events = append(a.events, make([]Event, eventSlabSize))
 	}
-	e := &a.events[0]
-	a.events = a.events[1:]
-	return e
+	a.nEvents++
+	return &a.events[slab][slot]
 }
 
 func (a *arena) newCounter() *Counter {
-	if len(a.counters) == 0 {
-		a.counters = make([]Counter, counterSlabSize)
+	slab, slot := a.nCounters/counterSlabSize, a.nCounters%counterSlabSize
+	if slab == len(a.counters) {
+		a.counters = append(a.counters, make([]Counter, counterSlabSize))
 	}
-	c := &a.counters[0]
-	a.counters = a.counters[1:]
-	return c
+	a.nCounters++
+	return &a.counters[slab][slot]
 }
 
-func (a *arena) newProc() *Proc {
-	if len(a.procs) == 0 {
-		a.procs = make([]Proc, procSlabSize)
+// newProc carves the next process slot and returns it with its dense index
+// (the value of Proc.self and of every queue entry that references it).
+func (a *arena) newProc() (*Proc, uint32) {
+	self := uint32(a.nProcs)
+	slab, slot := a.nProcs>>procSlabShift, a.nProcs&procSlotMask
+	if slab == len(a.procs) {
+		a.procs = append(a.procs, make([]Proc, procSlabSize))
 	}
-	p := &a.procs[0]
-	a.procs = a.procs[1:]
-	return p
+	a.nProcs++
+	return &a.procs[slab][slot], self
+}
+
+// procAt resolves a dense process index to its slab slot.
+func (a *arena) procAt(i uint32) *Proc {
+	return &a.procs[i>>procSlabShift][i&procSlotMask]
 }

@@ -5,10 +5,12 @@ import "sort"
 // Counter is a watchable monotonically increasing value in virtual time. It
 // models both the DMA engine's hardware byte counters and the paper's
 // software message counters: a producer adds received byte counts, consumers
-// wait until the count reaches a threshold.
+// wait until the count reaches a threshold. Like events, counters must not
+// outlive a Kernel.Reset: stale handles panic via the epoch stamp.
 type Counter struct {
 	k       *Kernel
 	name    string
+	epoch   uint32
 	v       int64
 	waiters []counterWait // kept sorted by threshold
 }
@@ -19,11 +21,21 @@ type counterWait struct {
 }
 
 // NewCounter returns a counter starting at zero, carved from the kernel's
-// arena (see arena.go).
+// arena (see arena.go). Every field is reinitialized: after a Reset the slot
+// still holds a previous run's state (the waiter slice keeps its capacity).
 func (k *Kernel) NewCounter(name string) *Counter {
 	c := k.arena.newCounter()
-	c.k, c.name = k, name
+	c.k, c.name, c.epoch = k, name, k.epoch
+	c.v = 0
+	c.waiters = c.waiters[:0]
 	return c
+}
+
+// check panics when the handle predates the kernel's current epoch.
+func (c *Counter) check() {
+	if c.epoch != c.k.epoch {
+		panic("sim: counter handle (" + c.name + ") used across Kernel.Reset")
+	}
 }
 
 // Value returns the current count.
@@ -36,6 +48,7 @@ func (c *Counter) Name() string { return c.name }
 // counter models only count up) and releases any waiters whose threshold is
 // now reached.
 func (c *Counter) Add(n int64) {
+	c.check()
 	if n < 0 {
 		panic("sim: counter " + c.name + " decremented")
 	}
@@ -47,6 +60,7 @@ func (c *Counter) Add(n int64) {
 // Resetting with waiters outstanding panics: the waiters' thresholds would
 // silently refer to the previous epoch.
 func (c *Counter) Reset() {
+	c.check()
 	if len(c.waiters) > 0 {
 		panic("sim: counter " + c.name + " reset with waiters")
 	}
@@ -81,29 +95,30 @@ func (c *Counter) release() {
 		// would have produced).
 		buf := k.arena.wakeBuf[:0]
 		for _, w := range c.waiters[:n] {
-			if w.e.p != nil {
+			if w.e.kind != eFn {
+				p := k.procAt(w.e.idx)
 				k.blocked--
-				w.e.p.waitEv, w.e.p.waitC = nil, nil
+				p.waitEv, p.waitC = nil, nil
 			}
 			buf = append(buf, w.e)
 		}
 		k.ring.pushBatch(buf)
-		clear(buf)
 		k.arena.wakeBuf = buf[:0]
 	}
 	// Compact in place rather than re-slicing the front away: waking repeatedly
 	// would otherwise shrink capacity to zero and reallocate on every wait.
+	// counterWait is pointer-free, so the vacated tail needs no clearing.
 	rem := copy(c.waiters, c.waiters[n:])
-	clear(c.waiters[rem:])
 	c.waiters = c.waiters[:rem]
 }
 
 // OnGE schedules fn once the counter reaches at least v. If it already has,
 // fn is scheduled at the current time.
 func (c *Counter) OnGE(v int64, fn func()) {
+	c.check()
 	if c.v >= v {
 		c.k.At(c.k.now, fn)
 		return
 	}
-	c.wait(v, entry{fn: fn})
+	c.wait(v, entry{kind: eFn, idx: c.k.newCb(fn)})
 }

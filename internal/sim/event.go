@@ -3,20 +3,34 @@ package sim
 // Event is a one-shot occurrence in virtual time. Processes block on it with
 // Proc.Wait; callbacks subscribe with OnFire. Firing an event releases all
 // current and future waiters. Events are not reusable; allocate a new one per
-// occurrence.
+// occurrence — and not retainable across Kernel.Reset: the epoch stamp makes
+// a stale handle panic instead of aliasing whatever now occupies its slot.
 type Event struct {
 	k       *Kernel
 	name    string
+	epoch   uint32
 	fired   bool
 	waiters []entry // parked process resumes (Wait) and callbacks (OnFire)
 }
 
 // NewEvent returns an unfired event, carved from the kernel's arena (see
-// arena.go). The name appears in deadlock reports.
+// arena.go). The name appears in deadlock reports. Every field is
+// reinitialized here: after a Reset the slot still holds a previous run's
+// state (the waiter slice keeps its capacity on purpose).
 func (k *Kernel) NewEvent(name string) *Event {
 	e := k.arena.newEvent()
-	e.k, e.name = k, name
+	e.k, e.name, e.epoch = k, name, k.epoch
+	e.fired = false
+	e.waiters = e.waiters[:0]
 	return e
+}
+
+// check panics when the handle predates the kernel's current epoch: its slab
+// slot belongs to the next lease now (or will shortly).
+func (e *Event) check() {
+	if e.epoch != e.k.epoch {
+		panic("sim: event handle (" + e.name + ") used across Kernel.Reset")
+	}
 }
 
 // Fired reports whether the event has fired.
@@ -29,6 +43,7 @@ func (e *Event) Fired() bool { return e.fired }
 // (normally done per-entry in Kernel.wake) runs first, then the whole slice
 // is appended to the ring in a single copy, preserving registration order.
 func (e *Event) Fire() {
+	e.check()
 	if e.fired {
 		panic("sim: event " + e.name + " fired twice")
 	}
@@ -38,21 +53,23 @@ func (e *Event) Fire() {
 	}
 	k := e.k
 	for _, w := range e.waiters {
-		if w.p != nil {
+		if w.kind != eFn {
+			p := k.procAt(w.idx)
 			k.blocked--
-			w.p.waitEv, w.p.waitC = nil, nil
+			p.waitEv, p.waitC = nil, nil
 		}
 	}
 	k.ring.pushBatch(e.waiters)
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 }
 
 // OnFire registers fn to run when the event fires. If the event has already
 // fired, fn is scheduled at the current time.
 func (e *Event) OnFire(fn func()) {
+	e.check()
 	if e.fired {
 		e.k.At(e.k.now, fn)
 		return
 	}
-	e.waiters = append(e.waiters, entry{fn: fn})
+	e.waiters = append(e.waiters, entry{kind: eFn, idx: e.k.newCb(fn)})
 }

@@ -6,15 +6,31 @@ import (
 	"strings"
 )
 
-// entry is one schedulable unit: a callback (fn != nil) or a process resume
-// (fn == nil, p != nil). A plan-attached wait (see plan.go) registers a
-// waiter with both set: fn is the plan continuation that runs on release, p
-// identifies the parked process for the blocked bookkeeping in wake and for
-// deadlock reports.
+// entry is one schedulable unit, encoded without pointers so the run ring,
+// the event heap, and every waiter list are memory the GC never has to scan.
+// kind selects the dispatch and idx names the target: a slot in the kernel's
+// callback table (eFn) or a process's dense arena index (everything else).
+//
+// In a waiter list (Event.waiters, Counter.waiters) every kind other than eFn
+// identifies a parked process, so Kernel.wake and the batch-wake loops do the
+// blocked bookkeeping exactly for those kinds — the same split the old
+// (fn, p) pair expressed with p != nil.
 type entry struct {
-	fn func()
-	p  *Proc
+	kind uint8
+	idx  uint32
 }
+
+// entry kinds. The zero value (eNone) is never scheduled; popping one would
+// indicate ring/heap corruption.
+const (
+	eNone   uint8 = iota
+	eFn           // run callback-table slot idx
+	eResume       // resume goroutine-backed process idx (returned by next)
+	eStep         // advance process idx's fused plan (plan.go)
+	eCont         // run process idx's program continuation (program.go)
+	eProg         // step process idx's program-mode plan (program.go)
+	eAdd          // apply add-table slot idx: a scheduled Counter.Add (AddAt)
+)
 
 // Kernel is a deterministic discrete-event scheduler. The zero value is not
 // usable; create kernels with New.
@@ -72,11 +88,25 @@ type Kernel struct {
 	// position its unfused slice would have occupied.
 	fused *Proc
 
-	// procs lists every spawned process; each tracks its own blocked state.
-	// blocked counts processes currently waiting on an Event or Counter
-	// threshold (not a timed sleep). If all events drain while blocked > 0
-	// the simulation is deadlocked.
-	procs   []*Proc
+	// cbs is the callback table: eFn entries name a slot here instead of
+	// carrying the func value, keeping queue memory pointer-free. Slots are
+	// recycled through cbFree in LIFO order — a deterministic policy, so a
+	// reused kernel assigns the same slot numbers as a fresh one.
+	cbs    []func()
+	cbFree []uint32
+
+	// adds is the scheduled-add table: eAdd entries name a slot here holding
+	// a (counter, amount) pair, so a deferred Counter.Add costs no closure.
+	// Slots recycle LIFO through addFree, like cbs.
+	adds    []addAt
+	addFree []uint32
+
+	// procs lists every live process by dense arena index; each tracks its
+	// own registry position (Proc.idx) for O(1) removal. blocked counts
+	// processes currently waiting on an Event or Counter threshold (not a
+	// timed sleep). If all events drain while blocked > 0 the simulation is
+	// deadlocked.
+	procs   []uint32
 	blocked int
 
 	failure error
@@ -86,9 +116,19 @@ type Kernel struct {
 	// crash Run exactly as they do when the kernel goroutine runs them.
 	cbPanic any
 
+	// pipes registers every pipe created on this kernel so Reset can rewind
+	// their reservation state along with the clock.
+	pipes []*Pipe
+
+	// epoch counts Resets. Events, counters, and processes are stamped with
+	// the epoch they were carved in; using a handle from a previous epoch
+	// panics deterministically instead of corrupting the next run (the slab
+	// slot may already belong to someone else).
+	epoch uint32
+
 	// arena holds the kernel's slab allocator for events, counters, and
 	// processes (see arena.go). Everything carved from it lives exactly as
-	// long as the kernel.
+	// long as the kernel — or until Reset rewinds it.
 	arena arena
 }
 
@@ -106,6 +146,73 @@ func (k *Kernel) Now() Time { return k.now }
 // determinism stress tests and the program-vs-reference benchmark runs.
 func (k *Kernel) SetNoProgram(v bool) { k.noProgram = v }
 
+// Reset returns the kernel to its post-New state while keeping every
+// allocation it has accumulated: arena slabs, queue and ring capacity, the
+// callback table, grown waiter lists, and the pipes created on it. Pipes
+// survive with their identity intact (their reservation state rewinds to
+// zero); events, counters, and processes do not — their slab slots will be
+// recarved, so handles from before the Reset are poison, and the epoch stamp
+// makes using one panic deterministically.
+//
+// Reset panics if called during Run or while processes are still live: a
+// failed run (deadlock, process panic) leaves parked processes behind, and
+// reusing such a kernel would replay unrelated state into the next run. Only
+// kernels whose last Run completed cleanly are resettable; drop the rest.
+func (k *Kernel) Reset() {
+	if k.running {
+		panic("sim: Reset during Run")
+	}
+	if len(k.procs) > 0 || k.blocked != 0 {
+		panic("sim: Reset with live processes; only a cleanly finished kernel can be reset")
+	}
+	k.now = 0
+	k.queue.s = k.queue.s[:0]
+	k.queue.seq = 0
+	k.ring.head, k.ring.tail, k.ring.n = 0, 0, 0
+	k.fused = nil
+	k.failure = nil
+	k.cbPanic = nil
+	// Callback slots hold closures whose captures would otherwise keep the
+	// previous run's garbage alive for the whole next lease.
+	clear(k.cbs)
+	k.cbs = k.cbs[:0]
+	k.cbFree = k.cbFree[:0]
+	clear(k.adds)
+	k.adds = k.adds[:0]
+	k.addFree = k.addFree[:0]
+	for _, p := range k.pipes {
+		p.free, p.totalBytes, p.busy, p.transfers = 0, 0, 0, 0
+	}
+	k.arena.reset()
+	k.epoch++
+}
+
+// newCb stores fn in the callback table and returns its slot. Slots recycle
+// LIFO so the mapping from schedule order to slot numbers is a pure function
+// of the run, fresh or reused.
+func (k *Kernel) newCb(fn func()) uint32 {
+	if n := len(k.cbFree); n > 0 {
+		i := k.cbFree[n-1]
+		k.cbFree = k.cbFree[:n-1]
+		k.cbs[i] = fn
+		return i
+	}
+	k.cbs = append(k.cbs, fn)
+	return uint32(len(k.cbs) - 1)
+}
+
+// runCb runs a callback slot, releasing it first so the table holds no
+// reference while (and after) the callback executes.
+func (k *Kernel) runCb(i uint32) {
+	fn := k.cbs[i]
+	k.cbs[i] = nil
+	k.cbFree = append(k.cbFree, i)
+	fn()
+}
+
+// procAt resolves a dense process index.
+func (k *Kernel) procAt(i uint32) *Proc { return k.arena.procAt(i) }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a broken cost model rather than a recoverable state.
 func (k *Kernel) At(t Time, fn func()) {
@@ -113,23 +220,65 @@ func (k *Kernel) At(t Time, fn func()) {
 		if t < k.now {
 			panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 		}
-		k.ring.push(entry{fn: fn})
+		k.ring.push(entry{kind: eFn, idx: k.newCb(fn)})
 		return
 	}
-	k.queue.push(t, entry{fn: fn})
+	k.queue.push(t, entry{kind: eFn, idx: k.newCb(fn)})
 }
 
 // After schedules fn to run d after the current time.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
 
+// addAt is one scheduled counter add: the pointer-lean form of
+// At(t, func() { c.Add(n) }), stored in the kernel's add table so the hot
+// DMA-completion paths schedule no closures.
+type addAt struct {
+	c *Counter
+	n int64
+}
+
+// AddAt schedules c.Add(n) at absolute virtual time t, occupying exactly the
+// (time, seq) position the equivalent At callback would. Like At, scheduling
+// in the past panics; like every counter operation, a handle from before a
+// Reset panics at registration.
+func (k *Kernel) AddAt(t Time, c *Counter, n int64) {
+	c.check()
+	var i uint32
+	if m := len(k.addFree); m > 0 {
+		i = k.addFree[m-1]
+		k.addFree = k.addFree[:m-1]
+		k.adds[i] = addAt{c, n}
+	} else {
+		k.adds = append(k.adds, addAt{c, n})
+		i = uint32(len(k.adds) - 1)
+	}
+	if t <= k.now {
+		if t < k.now {
+			panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+		}
+		k.ring.push(entry{kind: eAdd, idx: i})
+		return
+	}
+	k.queue.push(t, entry{kind: eAdd, idx: i})
+}
+
+// runAdd applies a scheduled add, releasing its table slot first (mirroring
+// runCb's discipline).
+func (k *Kernel) runAdd(i uint32) {
+	a := k.adds[i]
+	k.adds[i] = addAt{}
+	k.addFree = append(k.addFree, i)
+	a.c.Add(a.n)
+}
+
 // schedProc schedules p's next resume at absolute time t (>= now; timed
 // sleeps clamp negative durations before calling).
 func (k *Kernel) schedProc(t Time, p *Proc) {
 	if t <= k.now {
-		k.ring.push(entry{p: p})
+		k.ring.push(entry{kind: eResume, idx: p.self})
 		return
 	}
-	k.queue.push(t, entry{p: p})
+	k.queue.push(t, entry{kind: eResume, idx: p.self})
 }
 
 // schedStep schedules the continuation of p's plan (see plan.go) at absolute
@@ -137,10 +286,10 @@ func (k *Kernel) schedProc(t Time, p *Proc) {
 // entry lands exactly where the process's own resume would have.
 func (k *Kernel) schedStep(t Time, p *Proc) {
 	if t <= k.now {
-		k.ring.push(entry{fn: p.stepFn})
+		k.ring.push(entry{kind: eStep, idx: p.self})
 		return
 	}
-	k.queue.push(t, entry{fn: p.stepFn})
+	k.queue.push(t, entry{kind: eStep, idx: p.self})
 }
 
 // wake makes a released waiter runnable at the current instant. For process
@@ -148,9 +297,10 @@ func (k *Kernel) schedStep(t Time, p *Proc) {
 // is a bare resume that any token holder may execute; the caller (Event.Fire,
 // Counter.release) always holds the token.
 func (k *Kernel) wake(w entry) {
-	if w.p != nil {
+	if w.kind != eFn {
+		p := k.procAt(w.idx)
 		k.blocked--
-		w.p.waitEv, w.p.waitC = nil, nil
+		p.waitEv, p.waitC = nil, nil
 	}
 	k.ring.push(w)
 }
@@ -178,10 +328,20 @@ func (k *Kernel) next() *Proc {
 		} else {
 			break
 		}
-		if e.fn == nil {
-			return e.p
+		switch e.kind {
+		case eResume:
+			return k.procAt(e.idx)
+		case eFn:
+			k.runCb(e.idx)
+		case eStep:
+			k.procAt(e.idx).advance()
+		case eCont:
+			k.procAt(e.idx).runCont()
+		case eProg:
+			k.procAt(e.idx).runProg()
+		case eAdd:
+			k.runAdd(e.idx)
 		}
-		e.fn()
 		// A callback that completed a process's plan resumes that process
 		// immediately: its slice belongs at this exact queue position.
 		if p := k.fused; p != nil {
@@ -261,7 +421,8 @@ func (k *Kernel) deadlockError() error {
 	// Sort the report so the error text does not depend on discovery order
 	// (determinism tests compare failure output too).
 	var blocked []string
-	for _, p := range k.procs {
+	for _, pi := range k.procs {
+		p := k.procAt(pi)
 		if what := p.blockedOn(); what != "" {
 			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, what))
 		}
@@ -279,7 +440,8 @@ func (k *Kernel) fail(err error) {
 
 // runRing is a growable FIFO ring buffer of same-instant entries. Push and
 // pop are a mask and an index increment; growth doubles and relinks the two
-// halves so FIFO order is preserved.
+// halves so FIFO order is preserved. Entries are pointer-free, so popped
+// slots need no clearing and the buffer is invisible to the GC scanner.
 type runRing struct {
 	buf  []entry
 	head int
@@ -313,7 +475,6 @@ func (r *runRing) pushBatch(es []entry) {
 
 func (r *runRing) pop() entry {
 	e := r.buf[r.head]
-	r.buf[r.head] = entry{}
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	return e
@@ -331,7 +492,8 @@ func (r *runRing) grow() {
 }
 
 // scheduled is one future event: its firing time, a global sequence number
-// breaking same-time ties FIFO, and the entry to run.
+// breaking same-time ties FIFO, and the entry to run. Fully pointer-free: a
+// megabyte-scale heap of these contributes nothing to a GC mark phase.
 type scheduled struct {
 	t   Time
 	seq int64
@@ -371,7 +533,6 @@ func (h *eventHeap) pop() entry {
 	top := s[0].e
 	n := len(s) - 1
 	e := s[n]
-	s[n] = scheduled{} // release the callback for GC
 	h.s = s[:n]
 	if n == 0 {
 		return top

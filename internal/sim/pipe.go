@@ -27,12 +27,17 @@ type Pipe struct {
 }
 
 // NewPipe creates a pipe with the given bandwidth in bytes/second and fixed
-// per-transfer latency.
+// per-transfer latency. Unlike events and counters, pipes keep their identity
+// across Kernel.Reset (the machine's networks hold them for the partition's
+// lifetime); the kernel registers each pipe so Reset can rewind its
+// reservation state and statistics along with the clock.
 func (k *Kernel) NewPipe(name string, bytesPerSecond float64, latency Time) *Pipe {
 	if bytesPerSecond <= 0 {
 		panic("sim: pipe " + name + " with non-positive bandwidth")
 	}
-	return &Pipe{k: k, name: name, ppb: float64(Second) / bytesPerSecond, lat: latency}
+	p := &Pipe{k: k, name: name, ppb: float64(Second) / bytesPerSecond, lat: latency}
+	k.pipes = append(k.pipes, p)
+	return p
 }
 
 // Name returns the pipe's name.

@@ -49,9 +49,6 @@ const (
 // NewPlan clears and returns p's plan buffer. The returned plan may only be
 // attached to waits of p, and only the most recently built plan is valid.
 func (p *Proc) NewPlan() *Plan {
-	if p.stepFn == nil {
-		p.stepFn = p.advance
-	}
 	p.plan.p = p
 	p.plan.steps = p.plan.steps[:0]
 	p.plan.i = 0
@@ -94,9 +91,11 @@ func (p *Proc) WaitPlan(ev *Event, pl *Plan) {
 		pl.runInline(p)
 		return
 	}
+	p.check()
+	ev.check()
 	p.waitEv = ev
 	p.k.blocked++
-	ev.waiters = append(ev.waiters, entry{fn: p.stepFn, p: p})
+	ev.waiters = append(ev.waiters, entry{kind: eStep, idx: p.self})
 	p.yield()
 }
 
@@ -113,9 +112,11 @@ func (p *Proc) WaitGEPlan(c *Counter, v int64, pl *Plan) {
 		pl.runInline(p)
 		return
 	}
+	p.check()
+	c.check()
 	p.waitC, p.waitGE = c, v
 	p.k.blocked++
-	c.wait(v, entry{fn: p.stepFn, p: p})
+	c.wait(v, entry{kind: eStep, idx: p.self})
 	p.yield()
 }
 

@@ -14,11 +14,18 @@ type Proc struct {
 	k    *Kernel
 	name string
 
+	// self is the process's dense arena index (arena.go): the value queue
+	// entries carry instead of a *Proc, and stable for the kernel's lifetime.
+	// epoch stamps the lease the process belongs to; like events and
+	// counters, a Proc handle must not be used across Kernel.Reset.
+	self  uint32
+	epoch uint32
+
 	// gate receives the virtual-CPU token: the kernel (or a directly
 	// handing-off peer process) sends to resume the process. The channel is
 	// owned by the backing pool worker and outlives the Proc; the Proc
 	// itself is a single-use handle, so no per-spawn state can leak across
-	// pool reuses.
+	// pool reuses. nil for inline program processes.
 	gate chan struct{}
 
 	// Blocked-on state for deadlock reporting. At most one is non-nil; the
@@ -30,24 +37,27 @@ type Proc struct {
 
 	idx int // position in k.procs, for O(1) removal on exit
 
-	// plan is the reusable fused-step buffer (see plan.go); stepFn is the
-	// pre-bound plan continuation scheduled as a queue callback, allocated
-	// once on first NewPlan so plans add no per-step allocation.
-	plan   Plan
-	stepFn func()
+	// plan is the reusable fused-step buffer (see plan.go). Its continuation
+	// is scheduled as an eStep entry naming self — no pre-bound closure.
+	plan Plan
 
 	// Program-mode state (see program.go). inline marks a process with no
-	// backing goroutine: its continuations run as queue callbacks. cont holds
-	// the continuation pending behind the current sleep, wait, or plan;
-	// contFn/progFn are the pre-bound trampolines scheduled in its place.
-	// armed records that a resume is pending somewhere in the queues or
-	// waiter lists, so the activation wrapper can tell "parked" from
-	// "finished".
+	// backing goroutine: its continuations run as queue callbacks (eCont and
+	// eProg entries naming self). cont holds the continuation pending behind
+	// the current sleep, wait, or plan; armed records that a resume is
+	// pending somewhere in the queues or waiter lists, so the activation
+	// wrapper can tell "parked" from "finished".
 	inline bool
 	armed  bool
 	cont   func()
-	contFn func()
-	progFn func()
+}
+
+// check panics when the handle predates the kernel's current epoch: its slab
+// slot belongs to the next lease now (or will shortly).
+func (p *Proc) check() {
+	if p.epoch != p.k.epoch {
+		panic("sim: process handle (" + p.name + ") used across Kernel.Reset")
+	}
 }
 
 // procPanicError formats a panic escaping process code — a process body or a
@@ -62,14 +72,30 @@ func procPanicError(name string, r any) error {
 // comes from the shared worker pool, so repeated Kernel instances reuse
 // parked goroutines (and their grown stacks) instead of spawning fresh ones.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := k.arena.newProc()
-	p.k, p.name = k, name
+	p := k.carveProc(name)
 	w := getWorker()
 	p.gate = w.gate
 	w.p, w.fn = p, fn
 	p.idx = len(k.procs)
-	k.procs = append(k.procs, p)
-	k.ring.push(entry{p: p})
+	k.procs = append(k.procs, p.self)
+	k.ring.push(entry{kind: eResume, idx: p.self})
+	return p
+}
+
+// carveProc carves a process slot and reinitializes every field a previous
+// lease may have left behind (slots are reused after Kernel.Reset). The
+// program frame is cleared in resetFrame (program.go), the one file allowed
+// to touch those fields; the plan keeps its step-buffer capacity.
+func (k *Kernel) carveProc(name string) *Proc {
+	p, self := k.arena.newProc()
+	p.k, p.name = k, name
+	p.self, p.epoch = self, k.epoch
+	p.gate = nil
+	p.waitEv, p.waitC, p.waitGE = nil, nil, 0
+	p.plan.p = p
+	p.plan.steps = p.plan.steps[:0]
+	p.plan.i = 0
+	p.resetFrame()
 	return p
 }
 
@@ -85,9 +111,9 @@ func (p *Proc) exec(fn func(p *Proc)) {
 		}
 		k := p.k
 		last := len(k.procs) - 1
-		k.procs[p.idx] = k.procs[last]
-		k.procs[p.idx].idx = p.idx
-		k.procs[last] = nil
+		moved := k.procs[last]
+		k.procs[p.idx] = moved
+		k.procAt(moved).idx = p.idx
 		k.procs = k.procs[:last]
 	}()
 	fn(p)
@@ -141,6 +167,7 @@ func (p *Proc) Now() Time { return p.k.now }
 // Sleep advances the process by d of virtual time. Negative durations are
 // treated as zero.
 func (p *Proc) Sleep(d Time) {
+	p.check()
 	if d < 0 {
 		d = 0
 	}
@@ -151,6 +178,7 @@ func (p *Proc) Sleep(d Time) {
 // SleepUntil blocks the process until absolute virtual time t. Times in the
 // past return immediately.
 func (p *Proc) SleepUntil(t Time) {
+	p.check()
 	if t <= p.k.now {
 		return
 	}
@@ -161,23 +189,27 @@ func (p *Proc) SleepUntil(t Time) {
 // Wait blocks the process until ev fires. If ev has already fired it returns
 // immediately without consuming virtual time.
 func (p *Proc) Wait(ev *Event) {
+	p.check()
+	ev.check()
 	if ev.fired {
 		return
 	}
 	p.waitEv = ev
 	p.k.blocked++
-	ev.waiters = append(ev.waiters, entry{p: p})
+	ev.waiters = append(ev.waiters, entry{kind: eResume, idx: p.self})
 	p.yield()
 }
 
 // WaitGE blocks the process until c reaches at least v.
 func (p *Proc) WaitGE(c *Counter, v int64) {
+	p.check()
+	c.check()
 	if c.v >= v {
 		return
 	}
 	p.waitC, p.waitGE = c, v
 	p.k.blocked++
-	c.wait(v, entry{p: p})
+	c.wait(v, entry{kind: eResume, idx: p.self})
 	p.yield()
 }
 

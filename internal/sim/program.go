@@ -33,6 +33,11 @@
 // of process code to the next park before the kernel pops another entry.
 // DESIGN.md §11 gives the full argument.
 //
+// The queue entries a parked program leaves behind are pointer-free: an
+// eCont (continuation) or eProg (plan step) entry names the process by its
+// arena index, and the kernel dispatches to runCont/runProg below — the
+// per-spawn trampoline closures those entries used to carry are gone.
+//
 // The same operations also run on ordinary goroutine processes (each has a
 // blocking fallback that calls the continuation synchronously), which is how
 // the noProgram reference mode executes the identical collective bodies —
@@ -55,33 +60,22 @@ func (k *Kernel) SpawnProgram(name string, fn func(p *Proc)) *Proc {
 	if k.noProgram {
 		return k.Spawn(name, fn)
 	}
-	p := k.arena.newProc()
-	p.k, p.name = k, name
+	p := k.carveProc(name)
 	p.inline = true
-	p.contFn = func() {
-		defer p.progRecover()
-		p.armed = false
-		c := p.cont
-		p.cont = nil
-		c()
-		if !p.armed {
-			p.finishProgram()
-		}
-	}
-	p.progFn = func() {
-		defer p.progRecover()
-		p.armed = false
-		p.stepProg()
-		if !p.armed {
-			p.finishProgram()
-		}
-	}
 	p.idx = len(k.procs)
-	k.procs = append(k.procs, p)
+	k.procs = append(k.procs, p.self)
 	p.cont = func() { fn(p) }
 	p.armed = true
-	k.ring.push(entry{fn: p.contFn})
+	k.ring.push(entry{kind: eCont, idx: p.self})
 	return p
+}
+
+// resetFrame clears the program frame of a freshly carved process slot (see
+// Kernel.carveProc); a slot reused after Reset may hold a finished — or, on
+// a dropped failed kernel, parked — program's state.
+func (p *Proc) resetFrame() {
+	p.inline, p.armed = false, false
+	p.cont = nil
 }
 
 // Inline reports whether the process runs without a goroutine (program
@@ -97,35 +91,61 @@ func (p *Proc) progRecover() {
 	}
 }
 
+// runCont is the kernel's dispatch for an eCont entry: disarm, run the
+// pending continuation, and retire the program if it parked nowhere new.
+func (p *Proc) runCont() {
+	defer p.progRecover()
+	p.armed = false
+	c := p.cont
+	p.cont = nil
+	c()
+	if !p.armed {
+		p.finishProgram()
+	}
+}
+
+// runProg is the kernel's dispatch for an eProg entry: disarm, step the
+// program's plan, and retire the program if it parked nowhere new.
+func (p *Proc) runProg() {
+	defer p.progRecover()
+	p.armed = false
+	p.stepProg()
+	if !p.armed {
+		p.finishProgram()
+	}
+}
+
 // finishProgram drops a completed program from the deadlock-report set, the
 // inline analog of the removal in Proc.exec.
 func (p *Proc) finishProgram() {
 	k := p.k
 	last := len(k.procs) - 1
-	k.procs[p.idx] = k.procs[last]
-	k.procs[p.idx].idx = p.idx
-	k.procs[last] = nil
+	moved := k.procs[last]
+	k.procs[p.idx] = moved
+	k.procAt(moved).idx = p.idx
 	k.procs = k.procs[:last]
 }
 
 // checkIdle guards the tail-call contract: arming a second resume while one
-// is pending means the body kept executing past a parking operation.
+// is pending means the body kept executing past a parking operation. It also
+// carries the epoch check for every inline program operation.
 func (p *Proc) checkIdle() {
+	p.check()
 	if p.armed {
 		panic("sim: program operation with a resume already pending on " + p.name)
 	}
 }
 
-// schedContAt schedules the stored continuation's trampoline at absolute
-// time t, using the same now-vs-future placement rule as schedProc so the
-// entry lands exactly where the process's own resume would have.
+// schedContAt schedules the stored continuation at absolute time t, using
+// the same now-vs-future placement rule as schedProc so the entry lands
+// exactly where the process's own resume would have.
 func (p *Proc) schedContAt(t Time) {
 	p.armed = true
 	if t <= p.k.now {
-		p.k.ring.push(entry{fn: p.contFn})
+		p.k.ring.push(entry{kind: eCont, idx: p.self})
 		return
 	}
-	p.k.queue.push(t, entry{fn: p.contFn})
+	p.k.queue.push(t, entry{kind: eCont, idx: p.self})
 }
 
 // SleepThen advances the process by d of virtual time and then continues
@@ -198,6 +218,7 @@ func (p *Proc) WaitThen(ev *Event, cont func()) {
 		return
 	}
 	p.checkIdle()
+	ev.check()
 	if ev.fired {
 		cont()
 		return
@@ -206,7 +227,7 @@ func (p *Proc) WaitThen(ev *Event, cont func()) {
 	p.k.blocked++
 	p.cont = cont
 	p.armed = true
-	ev.waiters = append(ev.waiters, entry{fn: p.contFn, p: p})
+	ev.waiters = append(ev.waiters, entry{kind: eCont, idx: p.self})
 }
 
 // WaitGEThen continues with cont once c reaches at least v — the
@@ -218,6 +239,7 @@ func (p *Proc) WaitGEThen(c *Counter, v int64, cont func()) {
 		return
 	}
 	p.checkIdle()
+	c.check()
 	if c.v >= v {
 		cont()
 		return
@@ -226,7 +248,7 @@ func (p *Proc) WaitGEThen(c *Counter, v int64, cont func()) {
 	p.k.blocked++
 	p.cont = cont
 	p.armed = true
-	c.wait(v, entry{fn: p.contFn, p: p})
+	c.wait(v, entry{kind: eCont, idx: p.self})
 }
 
 // WaitPlanThen blocks on ev, runs pl, then continues with cont — the
@@ -242,6 +264,7 @@ func (p *Proc) WaitPlanThen(ev *Event, pl *Plan, cont func()) {
 		return
 	}
 	p.checkIdle()
+	ev.check()
 	if ev.fired {
 		// Wait would have returned without yielding; the plan steps from
 		// here, scheduling exactly where the unfused slice would have.
@@ -253,7 +276,7 @@ func (p *Proc) WaitPlanThen(ev *Event, pl *Plan, cont func()) {
 	p.k.blocked++
 	p.cont = cont
 	p.armed = true
-	ev.waiters = append(ev.waiters, entry{fn: p.progFn, p: p})
+	ev.waiters = append(ev.waiters, entry{kind: eProg, idx: p.self})
 }
 
 // WaitGEPlanThen blocks until c reaches at least v, runs pl, then continues
@@ -270,6 +293,7 @@ func (p *Proc) WaitGEPlanThen(c *Counter, v int64, pl *Plan, cont func()) {
 		return
 	}
 	p.checkIdle()
+	c.check()
 	if c.v >= v {
 		p.cont = cont
 		p.stepProg()
@@ -279,7 +303,7 @@ func (p *Proc) WaitGEPlanThen(c *Counter, v int64, pl *Plan, cont func()) {
 	p.k.blocked++
 	p.cont = cont
 	p.armed = true
-	c.wait(v, entry{fn: p.progFn, p: p})
+	c.wait(v, entry{kind: eProg, idx: p.self})
 }
 
 // stepProg is Plan.advance for inline processes: instant steps execute in
@@ -314,9 +338,9 @@ func (p *Proc) stepProg() {
 		} else {
 			p.armed = true
 			if done <= k.now {
-				k.ring.push(entry{fn: p.progFn})
+				k.ring.push(entry{kind: eProg, idx: p.self})
 			} else {
-				k.queue.push(done, entry{fn: p.progFn})
+				k.queue.push(done, entry{kind: eProg, idx: p.self})
 			}
 		}
 		return

@@ -72,12 +72,18 @@ var stressModes = func() []stressMode {
 // source, so all modes execute the same program.
 func stressTrace(t *testing.T, seed int64, mode stressMode) []stressRec {
 	t.Helper()
+	return stressTraceOn(t, seed, mode, New())
+}
+
+// stressTraceOn runs the stress workload on a caller-supplied kernel, so the
+// reset tests can replay the identical program on a reused kernel.
+func stressTraceOn(t *testing.T, seed int64, mode stressMode, k *Kernel) []stressRec {
+	t.Helper()
 	const (
 		procs  = 12
 		rounds = 20
 	)
 	rng := rand.New(rand.NewSource(seed))
-	k := New()
 	k.noHandoff, k.noFuse, k.noProgram = mode.noHandoff, mode.noFuse, mode.noProgram
 
 	pipes := []*Pipe{

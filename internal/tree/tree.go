@@ -49,6 +49,13 @@ func New(k *sim.Kernel, geom geometry.Torus, p hw.Params) *Network {
 	}
 }
 
+// Reset rewinds the network's operation counter for a fresh run on a reused
+// partition (machine.Machine.Reset). The counter names every Op and its
+// delivered event ("tree.opN"), so a reused world must restart it at zero to
+// reproduce a fresh world's names — deadlock reports and traces compare
+// them. The channel pipe itself is rewound by the kernel.
+func (n *Network) Reset() { n.ops = 0 }
+
 // Depth returns the traversal hop count of the tree.
 func (n *Network) Depth() int { return n.depth }
 
