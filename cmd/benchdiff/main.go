@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"text/tabwriter"
 )
@@ -39,9 +40,17 @@ type reportExperiment struct {
 // report mirrors the subset of the bgpbench -benchjson schema benchdiff
 // needs; unknown fields are ignored so older reports still load.
 type report struct {
-	GoMaxProcs  int                `json:"gomaxprocs"`
-	Workers     int                `json:"workers"`
-	Quick       bool               `json:"quick"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Workers    int  `json:"workers"`
+	Quick      bool `json:"quick"`
+	// GOGC/GOMemLimit/PGO are the run's effective GC tuning and build
+	// profile (zero values in reports from before bgpbench stamped them).
+	// Mismatches between baseline and candidate make wall-clock deltas
+	// attributable to the runtime configuration rather than the code, so
+	// benchdiff warns about them (envWarnings).
+	GOGC        int                `json:"gogc"`
+	GOMemLimit  int64              `json:"gomemlimit"`
+	PGO         string             `json:"pgo"`
 	GitCommit   string             `json:"git_commit"`
 	Timestamp   string             `json:"timestamp_utc"`
 	TotalMS     float64            `json:"total_ms"`
@@ -52,6 +61,15 @@ func (r *report) describe() string {
 	s := fmt.Sprintf("gomaxprocs=%d workers=%d", r.GoMaxProcs, r.Workers)
 	if r.Quick {
 		s += " quick"
+	}
+	if r.GOGC != 0 {
+		s += fmt.Sprintf(" gogc=%d", r.GOGC)
+	}
+	if r.GOMemLimit != 0 {
+		s += " gomemlimit=" + memLimitStr(r.GOMemLimit)
+	}
+	if r.PGO != "" {
+		s += " pgo=" + r.PGO
 	}
 	if r.GitCommit != "" {
 		s += " commit=" + r.GitCommit
@@ -152,6 +170,48 @@ func diff(base, cand *report, g gate) (rows []diffRow, warnings []string, regres
 	return rows, warnings, regressed
 }
 
+// memLimitStr renders a GOMEMLIMIT value ("off" for Go's no-limit marker).
+func memLimitStr(v int64) string {
+	if v == math.MaxInt64 {
+		return "off"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// envWarnings reports runtime-configuration mismatches between the two
+// reports: different effective GOGC, different GOMEMLIMIT, or one side
+// built with PGO and the other not (or with a different profile). Any of
+// these shifts wall-clock and memstats for reasons that have nothing to do
+// with the code under comparison, so the diff is flagged as apples-to-
+// oranges — a warning, not a gate, because re-baselining after an
+// intentional tuning change is legitimate. A zero GOGC/GOMEMLIMIT means the
+// report predates the field and cannot be judged.
+func envWarnings(base, cand *report) []string {
+	var warns []string
+	if base.GOGC != 0 && cand.GOGC != 0 && base.GOGC != cand.GOGC {
+		warns = append(warns, fmt.Sprintf(
+			"gogc differs: baseline ran with gogc=%d, candidate with gogc=%d; wall-clock and alloc deltas reflect GC tuning, not code",
+			base.GOGC, cand.GOGC))
+	}
+	if base.GOMemLimit != 0 && cand.GOMemLimit != 0 && base.GOMemLimit != cand.GOMemLimit {
+		warns = append(warns, fmt.Sprintf(
+			"gomemlimit differs: baseline ran with gomemlimit=%s, candidate with gomemlimit=%s; wall-clock and alloc deltas reflect GC tuning, not code",
+			memLimitStr(base.GOMemLimit), memLimitStr(cand.GOMemLimit)))
+	}
+	if base.PGO != cand.PGO {
+		describe := func(p string) string {
+			if p == "" {
+				return "without PGO"
+			}
+			return "with PGO profile " + p
+		}
+		warns = append(warns, fmt.Sprintf(
+			"PGO differs: baseline built %s, candidate %s; compare same-profile builds",
+			describe(base.PGO), describe(cand.PGO)))
+	}
+	return warns
+}
+
 // totalDelta compares the reports' whole-run wall-clock. ok is false when
 // either report predates the total_ms field (zero), in which case the total
 // never gates. Otherwise pct is the signed percent delta (+ means slower) and
@@ -226,7 +286,7 @@ func run(w *os.File, base, cand *report, g gate) int {
 		}
 	}
 	tw.Flush()
-	for _, warn := range warnings {
+	for _, warn := range append(envWarnings(base, cand), warnings...) {
 		fmt.Fprintf(w, "warning: %s\n", warn)
 	}
 	if pct, totalRegressed, ok := totalDelta(base, cand, g.Threshold); ok {

@@ -110,6 +110,40 @@ func TestAllocGate(t *testing.T) {
 	}
 }
 
+func TestEnvWarnings(t *testing.T) {
+	mk := func(gogc int, memlimit int64, pgo string) *report {
+		return &report{GOGC: gogc, GOMemLimit: memlimit, PGO: pgo}
+	}
+	off := int64(math.MaxInt64)
+	cases := []struct {
+		name       string
+		base, cand *report
+		want       []string // substrings, one per expected warning, in order
+	}{
+		{"identical", mk(100, off, ""), mk(100, off, ""), nil},
+		{"gogc differs", mk(100, off, ""), mk(400, off, ""), []string{"gogc=100, candidate with gogc=400"}},
+		{"gomemlimit differs", mk(100, off, ""), mk(100, 4<<30, ""), []string{"gomemlimit=off, candidate with gomemlimit=4294967296"}},
+		{"pgo vs plain", mk(100, off, "cpu.pprof"), mk(100, off, ""), []string{"baseline built with PGO profile cpu.pprof, candidate without PGO"}},
+		{"plain vs pgo", mk(100, off, ""), mk(100, off, "cpu.pprof"), []string{"candidate with PGO profile cpu.pprof"}},
+		{"different profiles", mk(100, off, "a.pprof"), mk(100, off, "b.pprof"), []string{"PGO differs"}},
+		{"old report predates gc fields", mk(0, 0, ""), mk(400, 4<<30, ""), nil},
+		{"everything differs", mk(100, off, ""), mk(400, 4<<30, "cpu.pprof"), []string{"gogc differs", "gomemlimit differs", "PGO differs"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			warns := envWarnings(tc.base, tc.cand)
+			if len(warns) != len(tc.want) {
+				t.Fatalf("got %d warnings, want %d: %v", len(warns), len(tc.want), warns)
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(warns[i], sub) {
+					t.Errorf("warning %d = %q, want substring %q", i, warns[i], sub)
+				}
+			}
+		})
+	}
+}
+
 func TestDiffPercentDelta(t *testing.T) {
 	base := mkReport("fig7", 2000.0, "fig8", 800.0)
 	cand := mkReport("fig7", 1000.0, "fig8", 1000.0)

@@ -42,8 +42,12 @@ type benchReport struct {
 	// -gogc/-gomemlimit or the environment resolved to — so a stored report's
 	// wall-clocks and memstats are attributable to a GC configuration.
 	// GOMemLimit is math.MaxInt64 when no limit is set (Go's "off" value).
-	GOGC        int               `json:"gogc"`
-	GOMemLimit  int64             `json:"gomemlimit"`
+	GOGC       int   `json:"gogc"`
+	GOMemLimit int64 `json:"gomemlimit"`
+	// PGO is the profile the binary was built with ("" for a non-PGO
+	// build), so benchdiff can refuse to read a PGO-vs-plain comparison as
+	// a code change.
+	PGO         string            `json:"pgo,omitempty"`
 	GitCommit   string            `json:"git_commit,omitempty"`
 	Timestamp   string            `json:"timestamp_utc"`
 	Experiments []experimentTimes `json:"experiments"`
@@ -65,6 +69,22 @@ type experimentTimes struct {
 	Allocs       uint64  `json:"allocs"`
 	GCCycles     uint32  `json:"gc_cycles"`
 	HeapSysBytes uint64  `json:"heap_sys_bytes"`
+}
+
+// pgoProfile reports the PGO profile path the binary was built with, from
+// the embedded build info ("" when built without -pgo or when the binary
+// carries no build info, e.g. under `go test`).
+func pgoProfile() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "-pgo" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 // gitCommit identifies the working tree for the report, tolerating trees
@@ -141,6 +161,7 @@ func main() {
 		Reference:  *reference,
 		GOGC:       effGOGC,
 		GOMemLimit: effMemLimit,
+		PGO:        pgoProfile(),
 		GitCommit:  gitCommit(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}

@@ -1,14 +1,21 @@
-// Command bgplint runs the repository's determinism and lock-free-discipline
-// analyzers (internal/lint) over the given package patterns, in the style of
-// a go/analysis multichecker:
+// Command bgplint runs the repository's determinism, program-contract, and
+// hot-path analyzers (internal/lint) over the given package patterns, in the
+// style of a go/analysis multichecker:
 //
-//	go run ./cmd/bgplint ./...          # the whole module (CI gate)
-//	go run ./cmd/bgplint ./internal/shm # one package
+//	go run ./cmd/bgplint ./...            # the whole module (CI gate)
+//	go run ./cmd/bgplint ./internal/shm   # one package
 //	go run ./cmd/bgplint -only maporder ./...
+//	go run ./cmd/bgplint -json -cache ./...
+//	go run ./cmd/bgplint -sarif lint.sarif ./...
+//	go run ./cmd/bgplint -as bgpcoll/internal/coll ./internal/lint/testdata/progframe_bad
 //
-// Exit status: 0 when no findings, 1 when findings were reported, 2 on
-// load/type-check failure. Findings are suppressed per line with
-// //bgplint:allow <analyzer> annotations (see internal/lint).
+// Exit status: 0 when no error-severity findings (advisories alone do not
+// fail the gate), 1 when error findings were reported, 2 on load/type-check
+// failure. Findings are suppressed per line with
+//
+//	//bgplint:allow <rule>[,<rule>...] -- <justification>
+//
+// annotations, which are themselves audited (see internal/lint).
 package main
 
 import (
@@ -23,8 +30,12 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	useCache := flag.Bool("cache", false, "cache per-package results keyed by content hash ($BGPLINT_CACHE or the user cache dir)")
+	asPath := flag.String("as", "", "analyze a single directory argument under this import path (fixture mode; disables -cache)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bgplint [-only names] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bgplint [-only names] [-json] [-sarif file] [-cache] [-as importpath] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,7 +43,11 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			sev := a.Severity
+			if sev == "" {
+				sev = lint.SevError
+			}
+			fmt.Printf("%-18s [%s] %s\n", a.Name, sev, a.Doc)
 		}
 		return
 	}
@@ -61,26 +76,119 @@ func main() {
 	if err != nil {
 		fatalf("bgplint: %v", err)
 	}
-	pkgs, err := loader.Load(patterns)
-	if err != nil {
-		fatalf("bgplint: %v", err)
-	}
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, analyzers)
+	var diags []lint.Diagnostic
+	if *asPath != "" {
+		if len(patterns) != 1 {
+			fatalf("bgplint: -as takes exactly one directory argument")
+		}
+		pkg, err := loader.LoadFixture(patterns[0], *asPath)
 		if err != nil {
 			fatalf("bgplint: %v", err)
 		}
+		diags, err = lint.Run(pkg, analyzers)
+		if err != nil {
+			fatalf("bgplint: %v", err)
+		}
+	} else {
+		diags = runPatterns(loader, analyzers, patterns, *useCache)
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags, loader.Root); err != nil {
+			fatalf("bgplint: %v", err)
+		}
+	} else {
 		for _, d := range diags {
-			fmt.Println(d)
-			findings++
+			if d.Severity == lint.SevAdvisory {
+				fmt.Printf("%s [advisory]\n", d)
+			} else {
+				fmt.Println(d)
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "bgplint: %d finding(s)\n", findings)
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fatalf("bgplint: %v", err)
+		}
+		if err := lint.WriteSARIF(f, diags, loader.Root); err != nil {
+			fatalf("bgplint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("bgplint: %v", err)
+		}
+	}
+
+	errors, advisories := 0, 0
+	for _, d := range diags {
+		if d.Severity == lint.SevAdvisory {
+			advisories++
+		} else {
+			errors++
+		}
+	}
+	if errors+advisories > 0 {
+		fmt.Fprintf(os.Stderr, "bgplint: %d error finding(s), %d advisory\n", errors, advisories)
+	}
+	if errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// runPatterns analyzes every package directory the patterns expand to,
+// consulting the content-hash cache when enabled. Cache failures degrade to
+// uncached runs; they never fail the lint.
+func runPatterns(loader *lint.Loader, analyzers []*lint.Analyzer, patterns []string, useCache bool) []lint.Diagnostic {
+	dirs, err := loader.Dirs(patterns)
+	if err != nil {
+		fatalf("bgplint: %v", err)
+	}
+	var cache *lint.Cache
+	if useCache {
+		cache, err = lint.NewCache("", loader)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgplint: cache disabled: %v\n", err)
+			cache = nil
+		}
+	}
+
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		var key string
+		if cache != nil {
+			key, err = cache.Key(dir, analyzers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bgplint: cache key for %s: %v\n", dir, err)
+				key = ""
+			}
+			if key != "" {
+				if cached, ok := cache.Get(key); ok {
+					diags = append(diags, cached...)
+					continue
+				}
+			}
+		}
+		pkgs, err := loader.LoadDir(dir)
+		if err != nil {
+			fatalf("bgplint: %v", err)
+		}
+		var dirDiags []lint.Diagnostic
+		for _, pkg := range pkgs {
+			ds, err := lint.Run(pkg, analyzers)
+			if err != nil {
+				fatalf("bgplint: %v", err)
+			}
+			dirDiags = append(dirDiags, ds...)
+		}
+		if cache != nil && key != "" {
+			if err := cache.Put(key, dirDiags); err != nil {
+				fmt.Fprintf(os.Stderr, "bgplint: cache write for %s: %v\n", dir, err)
+			}
+		}
+		diags = append(diags, dirDiags...)
+	}
+	return diags
 }
 
 func fatalf(format string, args ...any) {

@@ -196,6 +196,7 @@ type measureLoop struct {
 	afterOpFn      func()
 }
 
+//bgplint:hot
 func (l *measureLoop) iter() {
 	if l.i == l.iters {
 		avg := l.elapsed / sim.Time(l.iters)
@@ -207,16 +208,19 @@ func (l *measureLoop) iter() {
 	l.r.BarrierThen(l.afterBarrierFn)
 }
 
+//bgplint:hot
 func (l *measureLoop) bcastAfterBarrier() {
 	l.start = l.r.Now()
 	l.r.BcastThen(l.buf, 0, l.afterOpFn)
 }
 
+//bgplint:hot
 func (l *measureLoop) allreduceAfterBarrier() {
 	l.start = l.r.Now()
 	l.r.AllreduceSumThen(l.send, l.recv, l.afterOpFn)
 }
 
+//bgplint:hot
 func (l *measureLoop) afterOp() {
 	l.elapsed += l.r.Now() - l.start
 	l.i++

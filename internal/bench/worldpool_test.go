@@ -79,6 +79,70 @@ func TestPooledWorldMeasuresIdentically(t *testing.T) {
 	}
 }
 
+// TestFailedRunsAreNotPooled drives the two failure paths releaseWorld
+// guards against: a run whose rank body panics mid-measurement (the kernel
+// converts the panic into a failed Run) and a run that deadlocks. Both
+// leave the kernel holding parked or aborted processes, so the world must
+// be dropped from the pool, and the next lease must construct fresh — a
+// fresh world that measures exactly what an undisturbed one measures. Run
+// under -race this also checks that dropping a failed world cannot race a
+// concurrent lease.
+func TestFailedRunsAreNotPooled(t *testing.T) {
+	cfg := goldenConfig(hw.Quad)
+
+	// Baseline: the cell's answer starting from a pristine pool.
+	DrainWorldPool()
+	want, err := MeasureBcastMode(cfg, mpi.BcastTreeShaddr, 64<<10, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body func(r *mpi.Rank)
+	}{
+		{"panic", func(r *mpi.Rank) {
+			if r.Rank() == 0 {
+				r.BarrierThen(func() { panic("mid-measurement failure") })
+			} else {
+				r.BarrierThen(func() {})
+			}
+		}},
+		{"deadlock", func(r *mpi.Rank) {
+			if r.Rank() == 0 {
+				r.BarrierThen(func() {}) // nobody else joins; parked forever
+			}
+		}},
+	}
+	for _, tc := range cases {
+		DrainWorldPool()
+		w, err := leaseWorld(cfg)
+		if err != nil {
+			t.Fatalf("%s: lease: %v", tc.name, err)
+		}
+		_, runErr := w.RunProgram(tc.body)
+		if runErr == nil {
+			t.Fatalf("%s: run succeeded; the fixture must fail", tc.name)
+		}
+		releaseWorld(cfg, w, runErr)
+		if n := PooledWorlds(); n != 0 {
+			t.Fatalf("%s: %d pooled worlds after a failed run, want 0 (failed kernels hold parked processes)", tc.name, n)
+		}
+
+		got, err := MeasureBcastMode(cfg, mpi.BcastTreeShaddr, 64<<10, 2, false)
+		if err != nil {
+			t.Fatalf("%s: measurement after the failed run: %v", tc.name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: fresh world after failure measured %v, want %v", tc.name, got, want)
+		}
+		if n := PooledWorlds(); n != 1 {
+			t.Fatalf("%s: %d pooled worlds after the recovery run, want 1", tc.name, n)
+		}
+	}
+	DrainWorldPool()
+}
+
 // TestWorldPoolParallelSweep drives the pool from concurrent workers, the
 // way `bgpbench -par` does: each cell is measured several times in parallel
 // and every result must match the serial answer. Run under -race this also

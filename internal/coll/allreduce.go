@@ -6,14 +6,17 @@ import (
 	"bgpcoll/internal/ccmi"
 	"bgpcoll/internal/data"
 	"bgpcoll/internal/geometry"
+	"bgpcoll/internal/hw"
 	"bgpcoll/internal/mpi"
 	"bgpcoll/internal/sim"
 )
 
 // Both allreduce algorithms are written in explicit-resume (program) style:
-// recursive continuation closures replace the blocking chunk loops, so
-// program-mode ranks run them without goroutines while goroutine-backed
-// ranks execute the identical bodies synchronously.
+// each chunk loop is a small state machine whose continuations are method
+// values bound once per rank per operation (see the note in bcast_tree.go),
+// so program-mode ranks run them without goroutines or per-chunk closure
+// garbage while goroutine-backed ranks execute the identical bodies
+// synchronously.
 
 // allreduceColors is the color count of the torus allreduce: the reduce
 // phase runs on the reversed-direction links of each color's broadcast tree,
@@ -168,97 +171,169 @@ func allreduceShaddr(r *mpi.Rank, send, recv data.Buf, done func()) {
 		if color >= allreduceColors {
 			color = allreduceColors - 1 // quad mode has exactly 3 peers
 		}
-		part := lens[color]
-		p := r.Proc()
-
-		// Phase closures, innermost first. drainCopy copies the full
-		// reduced result from the master's receive buffer into this rank's
-		// buffer as it arrives.
-		drainCopy := func() {
-			spanIdx := 0
-			var outer func(seen int)
-			outer = func(seen int) {
-				if seen >= bytes {
-					finish()
-					return
-				}
-				p.WaitGEThen(del.Counter, int64(seen)+1, func() {
-					r.Node().HW.PollThen(p, func() {
-						spans := del.Drain(&spanIdx)
-						var copyNext func(j, seen int)
-						copyNext = func(j, seen int) {
-							if j == len(spans) {
-								outer(seen)
-								return
-							}
-							r.Node().HW.CopyThen(p, spans[j].Len, cached, func() {
-								copyNext(j+1, seen+spans[j].Len)
-							})
-						}
-						copyNext(0, seen)
-					})
-				})
-			}
-			outer(0)
+		l := &shaddrReduceLoop{
+			st: st, r: r, p: r.Proc(), node: node, hwNode: r.Node().HW,
+			params: m.Cfg.Params, del: del, lr: lr, ppn: ppn, bytes: bytes,
+			cached: cached, offs: offs, lens: lens, ownColor: color,
+			cont: finish,
 		}
-		// reduceColor pipelines one color partition chunk by chunk into the
-		// network schedule: sum the four application buffers (three
-		// accumulation passes).
-		reduceColor := func(c, part int, k func()) {
-			chunks := m.Cfg.Params.Chunks(part)
-			var step func(j int)
-			step = func(j int) {
-				if j == len(chunks) {
-					k()
-					return
-				}
-				chunk := chunks[j]
-				r.Node().HW.ReduceThen(p, (ppn-1)*chunk.Len, cached, func() {
-					foldLocal(st, r, node, offs[c]+chunk.Off, chunk.Len)
-					st.contrib[node][c].Add(int64(chunk.Len))
-					step(j + 1)
-				})
-			}
-			step(0)
-		}
-		// Feed any colors without an owning core (fewer peers than colors
-		// cannot happen in quad mode; guard for dual).
-		extraColors := func(k func()) {
-			if lr != ppn-1 {
-				k()
-				return
-			}
-			var next func(c int)
-			next = func(c int) {
-				if c >= allreduceColors {
-					k()
-					return
-				}
-				reduceColor(c, lens[c], func() { next(c + 1) })
-			}
-			next(ppn - 1)
-		}
-
+		l.mapFn = l.mapNext
+		l.reducedFn = l.reduced
+		l.arriveFn = l.arrive
+		l.polledFn = l.polled
+		l.copiedFn = l.copied
 		// Wait for all local ranks to enter (their buffers must be
-		// readable) and map the three peer send buffers.
-		p.WaitGEThen(st.ready[node], int64(ppn), func() {
-			var mapNext func(pi int)
-			mapNext = func(pi int) {
-				if pi >= ppn {
-					reduceColor(color, part, func() { extraColors(drainCopy) })
-					return
-				}
-				if pi == lr {
-					mapNext(pi + 1)
-					return
-				}
-				r.CNK().MapThen(p, windowKey(pi, st.sends[r.RankOf(node, pi)]), bytes, func() {
-					mapNext(pi + 1)
-				})
-			}
-			mapNext(0)
-		})
+		// readable), then map the three peer send buffers.
+		l.p.WaitGEThen(st.ready[node], int64(ppn), l.mapFn)
 	}
+}
+
+// shaddrReduceLoop drives one non-protocol core of the shaddr allreduce
+// (paper §V-C) through its three phases: map the peer send buffers through
+// process windows, pipeline the owned color partition(s) chunk by chunk into
+// the network schedule, then copy the full reduced result out of the
+// master's receive buffer as it arrives.
+type shaddrReduceLoop struct {
+	st       *allreduceState
+	r        *mpi.Rank
+	p        *sim.Proc
+	hwNode   *hw.Node
+	params   hw.Params
+	del      *ccmi.Delivery
+	node     int
+	lr       int
+	ppn      int
+	bytes    int
+	cached   bool
+	offs     []int
+	lens     []int
+	ownColor int
+	cont     func()
+
+	mapIdx int
+
+	color    int
+	chunks   []hw.Span
+	chunkIdx int
+
+	spanIdx int
+	seen    int
+	spans   []hw.Span
+	spanJ   int
+
+	mapFn     func()
+	reducedFn func()
+	arriveFn  func()
+	polledFn  func()
+	copiedFn  func()
+}
+
+// mapNext maps the next peer's registered send buffer; once all are mapped,
+// the local reduction of the owned color starts.
+//
+//bgplint:hot
+func (l *shaddrReduceLoop) mapNext() {
+	for l.mapIdx == l.lr {
+		l.mapIdx++
+	}
+	if l.mapIdx >= l.ppn {
+		l.startColor(l.ownColor)
+		return
+	}
+	pi := l.mapIdx
+	l.mapIdx++
+	l.r.CNK().MapThen(l.p, windowKey(pi, l.st.sends[l.r.RankOf(l.node, pi)]), l.bytes, l.mapFn)
+}
+
+// startColor begins pipelining one color partition chunk by chunk into the
+// network schedule: sum the four application buffers (three accumulation
+// passes).
+//
+//bgplint:hot
+func (l *shaddrReduceLoop) startColor(c int) {
+	l.color = c
+	l.chunks = l.params.Chunks(l.lens[c])
+	l.chunkIdx = 0
+	l.reduceStep()
+}
+
+//bgplint:hot
+func (l *shaddrReduceLoop) reduceStep() {
+	if l.chunkIdx == len(l.chunks) {
+		l.colorDone()
+		return
+	}
+	l.hwNode.ReduceThen(l.p, (l.ppn-1)*l.chunks[l.chunkIdx].Len, l.cached, l.reducedFn)
+}
+
+//bgplint:hot
+func (l *shaddrReduceLoop) reduced() {
+	chunk := l.chunks[l.chunkIdx]
+	foldLocal(l.st, l.r, l.node, l.offs[l.color]+chunk.Off, chunk.Len)
+	l.st.contrib[l.node][l.color].Add(int64(chunk.Len))
+	l.chunkIdx++
+	l.reduceStep()
+}
+
+// colorDone advances to the next color the last peer must feed: colors
+// without an owning core (fewer peers than colors cannot happen in quad
+// mode; guard for dual). Everyone else goes straight to the drain phase.
+//
+//bgplint:hot
+func (l *shaddrReduceLoop) colorDone() {
+	if l.lr != l.ppn-1 {
+		l.drainOuter()
+		return
+	}
+	c := l.color + 1
+	if c < l.ppn-1 {
+		c = l.ppn - 1
+	}
+	if c >= allreduceColors {
+		l.drainOuter()
+		return
+	}
+	l.startColor(c)
+}
+
+// drainOuter copies the full reduced result from the master's receive
+// buffer into this rank's buffer as it arrives.
+//
+//bgplint:hot
+func (l *shaddrReduceLoop) drainOuter() {
+	if l.seen >= l.bytes {
+		l.cont()
+		return
+	}
+	l.p.WaitGEThen(l.del.Counter, int64(l.seen)+1, l.arriveFn)
+}
+
+//bgplint:hot
+func (l *shaddrReduceLoop) arrive() {
+	l.hwNode.PollThen(l.p, l.polledFn)
+}
+
+//bgplint:hot
+func (l *shaddrReduceLoop) polled() {
+	l.spans = l.del.Drain(&l.spanIdx)
+	l.spanJ = 0
+	l.copyNext()
+}
+
+//bgplint:hot
+func (l *shaddrReduceLoop) copyNext() {
+	if l.spanJ == len(l.spans) {
+		l.drainOuter()
+		return
+	}
+	l.hwNode.CopyThen(l.p, l.spans[l.spanJ].Len, l.cached, l.copiedFn)
+}
+
+//bgplint:hot
+func (l *shaddrReduceLoop) copied() {
+	l.seen += l.spans[l.spanJ].Len
+	l.spanJ++
+	l.copyNext()
 }
 
 // foldLocal installs the functional node-local sum for one byte range of the
@@ -323,90 +398,182 @@ func allreduceCurrent(r *mpi.Rank, send, recv data.Buf, done func()) {
 	lr := r.LocalRank()
 	if lr == ppn-1 {
 		// Chain head: ship own chunks to the next core.
-		p.WaitGEThen(st.ready[node], int64(ppn), func() {
-			var step func(j int)
-			step = func(j int) {
-				if j == len(chunks) {
-					p.WaitGEThen(st.peer[node][lr], int64(bytes), finish)
-					return
-				}
-				chunk := chunks[j]
-				putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
-				cnt := st.stage[node][lr-1]
-				n := int64(chunk.Len)
-				m.K.At(putDone, func() { cnt.Add(n) })
-				p.SleepUntilThen(putDone, func() { step(j + 1) })
-			}
-			step(0)
-		})
+		l := &arChainHead{
+			r: r, k: m.K, p: p, stage: st.stage[node][lr-1],
+			peer: st.peer[node][lr], chunks: chunks, bytes: bytes, cont: finish,
+		}
+		l.stepFn = l.step
+		p.WaitGEThen(st.ready[node], int64(ppn), l.stepFn)
 	} else if lr > 0 {
 		// Chain middle: combine the inbound partial with own data and
 		// forward.
-		var step func(j int, got int64)
-		step = func(j int, got int64) {
-			if j == len(chunks) {
-				p.WaitGEThen(st.peer[node][lr], int64(bytes), finish)
-				return
-			}
-			chunk := chunks[j]
-			g := got + int64(chunk.Len)
-			p.WaitGEThen(st.stage[node][lr], g, func() {
-				r.Node().HW.ReduceThen(p, chunk.Len, cached, func() {
-					putDone := r.Node().DMA.LocalCopy(r.Now(), chunk.Len)
-					cnt := st.stage[node][lr-1]
-					n := int64(chunk.Len)
-					m.K.At(putDone, func() { cnt.Add(n) })
-					step(j+1, g)
-				})
-			})
+		l := &arChainMid{
+			r: r, k: m.K, p: p, hwNode: r.Node().HW,
+			stageIn: st.stage[node][lr], stageOut: st.stage[node][lr-1],
+			peer: st.peer[node][lr], chunks: chunks, bytes: bytes,
+			cached: cached, cont: finish,
 		}
-		step(0, 0)
+		l.reduceFn = l.reduce
+		l.forwardFn = l.forward
+		l.step()
 	} else {
 		// Master: final accumulation on the protocol core, then the DMA
 		// distributes arriving results to the peers.
-		distribute := func() {
-			spanIdx := 0
-			var outer func(seen int)
-			outer = func(seen int) {
-				if seen >= bytes {
-					finish()
-					return
-				}
-				p.WaitGEThen(del.Counter, int64(seen)+1, func() {
-					for _, span := range del.Drain(&spanIdx) {
-						for pi := 1; pi < ppn; pi++ {
-							putDone := r.Node().DMA.LocalCopy(r.Now(), span.Len)
-							cnt := st.peer[node][pi]
-							n := int64(span.Len)
-							m.K.At(putDone, func() { cnt.Add(n) })
-						}
-						seen += span.Len
-					}
-					outer(seen)
-				})
-			}
-			outer(0)
+		l := &arMasterLoop{
+			st: st, r: r, k: m.K, p: p, del: del, node: node, ppn: ppn,
+			bytes: bytes, offs: offs, lens: lens, chunks: chunks, cont: finish,
 		}
-		var step func(j int, got int64, acc int)
-		step = func(j int, got int64, acc int) {
-			if j == len(chunks) {
-				distribute()
-				return
-			}
-			chunk := chunks[j]
-			g := got + int64(chunk.Len)
-			p.WaitGEThen(st.stage[node][0], g, func() {
-				reduceDone := st.proto[node].Reserve(chunk.Len)
-				p.SleepUntilThen(reduceDone, func() {
-					foldLocal(st, r, node, chunk.Off, chunk.Len)
-					a := acc + chunk.Len
-					feedContribAbsolute(st, node, a, offs, lens)
-					step(j+1, g, a)
-				})
-			})
-		}
-		step(0, 0, 0)
+		l.reserveFn = l.reserve
+		l.foldedFn = l.folded
+		l.arriveFn = l.arrive
+		l.step()
 	}
+}
+
+// arChainHead is the head of the intra-node reduce chain: DMA-copy each own
+// chunk into the next core's staging area, then wait for the broadcast-back.
+type arChainHead struct {
+	r      *mpi.Rank
+	k      *sim.Kernel
+	p      *sim.Proc
+	stage  *sim.Counter
+	peer   *sim.Counter
+	chunks []hw.Span
+	bytes  int
+	j      int
+	cont   func()
+	stepFn func()
+}
+
+//bgplint:hot
+func (l *arChainHead) step() {
+	if l.j == len(l.chunks) {
+		l.p.WaitGEThen(l.peer, int64(l.bytes), l.cont)
+		return
+	}
+	chunk := l.chunks[l.j]
+	putDone := l.r.Node().DMA.LocalCopy(l.r.Now(), chunk.Len)
+	l.k.AddAt(putDone, l.stage, int64(chunk.Len))
+	l.j++
+	l.p.SleepUntilThen(putDone, l.stepFn)
+}
+
+// arChainMid is a middle link of the reduce chain: wait for the inbound
+// partial, combine it with own data, and DMA-forward the new partial.
+type arChainMid struct {
+	r         *mpi.Rank
+	k         *sim.Kernel
+	p         *sim.Proc
+	hwNode    *hw.Node
+	stageIn   *sim.Counter
+	stageOut  *sim.Counter
+	peer      *sim.Counter
+	chunks    []hw.Span
+	bytes     int
+	cached    bool
+	j         int
+	got       int64
+	cont      func()
+	reduceFn  func()
+	forwardFn func()
+}
+
+//bgplint:hot
+func (l *arChainMid) step() {
+	if l.j == len(l.chunks) {
+		l.p.WaitGEThen(l.peer, int64(l.bytes), l.cont)
+		return
+	}
+	l.got += int64(l.chunks[l.j].Len)
+	l.p.WaitGEThen(l.stageIn, l.got, l.reduceFn)
+}
+
+//bgplint:hot
+func (l *arChainMid) reduce() {
+	l.hwNode.ReduceThen(l.p, l.chunks[l.j].Len, l.cached, l.forwardFn)
+}
+
+//bgplint:hot
+func (l *arChainMid) forward() {
+	chunk := l.chunks[l.j]
+	putDone := l.r.Node().DMA.LocalCopy(l.r.Now(), chunk.Len)
+	l.k.AddAt(putDone, l.stageOut, int64(chunk.Len))
+	l.j++
+	l.step()
+}
+
+// arMasterLoop is the master's side of the current algorithm: the final
+// accumulation of each staged chunk runs on the protocol core's pipe, and
+// once the chain completes the DMA distributes arriving network results to
+// the peers.
+type arMasterLoop struct {
+	st        *allreduceState
+	r         *mpi.Rank
+	k         *sim.Kernel
+	p         *sim.Proc
+	del       *ccmi.Delivery
+	node      int
+	ppn       int
+	bytes     int
+	offs      []int
+	lens      []int
+	chunks    []hw.Span
+	j         int
+	got       int64
+	acc       int
+	spanIdx   int
+	seen      int
+	cont      func()
+	reserveFn func()
+	foldedFn  func()
+	arriveFn  func()
+}
+
+//bgplint:hot
+func (l *arMasterLoop) step() {
+	if l.j == len(l.chunks) {
+		l.distOuter()
+		return
+	}
+	l.got += int64(l.chunks[l.j].Len)
+	l.p.WaitGEThen(l.st.stage[l.node][0], l.got, l.reserveFn)
+}
+
+//bgplint:hot
+func (l *arMasterLoop) reserve() {
+	reduceDone := l.st.proto[l.node].Reserve(l.chunks[l.j].Len)
+	l.p.SleepUntilThen(reduceDone, l.foldedFn)
+}
+
+//bgplint:hot
+func (l *arMasterLoop) folded() {
+	chunk := l.chunks[l.j]
+	foldLocal(l.st, l.r, l.node, chunk.Off, chunk.Len)
+	l.acc += chunk.Len
+	feedContribAbsolute(l.st, l.node, l.acc, l.offs, l.lens)
+	l.j++
+	l.step()
+}
+
+//bgplint:hot
+func (l *arMasterLoop) distOuter() {
+	if l.seen >= l.bytes {
+		l.cont()
+		return
+	}
+	l.p.WaitGEThen(l.del.Counter, int64(l.seen)+1, l.arriveFn)
+}
+
+//bgplint:hot
+func (l *arMasterLoop) arrive() {
+	for _, span := range l.del.Drain(&l.spanIdx) {
+		for pi := 1; pi < l.ppn; pi++ {
+			putDone := l.r.Node().DMA.LocalCopy(l.r.Now(), span.Len)
+			l.k.AddAt(putDone, l.st.peer[l.node][pi], int64(span.Len))
+		}
+		l.seen += span.Len
+	}
+	l.distOuter()
 }
 
 // feedContribAbsolute translates linear local-reduce progress (bytes from

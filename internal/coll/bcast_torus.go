@@ -11,9 +11,11 @@ import (
 )
 
 // The torus broadcasts are written in explicit-resume (program) style like
-// the tree algorithms: recursive continuation closures replace the blocking
-// loops, so program-mode ranks run them without goroutines while
-// goroutine-backed ranks execute the identical bodies synchronously.
+// the tree algorithms: each chunk loop is a small state machine whose
+// continuations are method values bound once per rank per broadcast (see the
+// note in bcast_tree.go), so program-mode ranks run them without goroutines
+// or per-chunk closure garbage while goroutine-backed ranks execute the
+// identical bodies synchronously.
 
 // torusBcastState is the job-wide shared state of one torus broadcast: the
 // per-node network delivery logs plus the intra-node coordination counters
@@ -108,10 +110,12 @@ func bcastTorusDirectPut(r *mpi.Rank, buf data.Buf, root int, done func()) {
 
 	if r.Rank() == root {
 		hook := func(node int, span hw.Span, t sim.Time) {
+			// AddAt is the closure-free At(putDone, func() { cnt.Add(n) }):
+			// one scheduled add per (chunk, peer), the same hot site the tree
+			// DMA broadcasts converted.
 			for p := 1; p < ppn; p++ {
 				putDone := m.Node(node).DMA.LocalCopy(t, span.Len)
-				cnt := st.peer[node][p]
-				m.K.At(putDone, func() { cnt.Add(int64(span.Len)) })
+				m.K.AddAt(putDone, st.peer[node][p], int64(span.Len))
 			}
 		}
 		startTorusNetwork(r, st, buf, hook)
@@ -144,32 +148,17 @@ func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	switch {
 	case r.IsNodeMaster():
 		st.masterBuf[node] = buf
-		del := st.dels[node]
-		sw := st.sw[node]
-		spanIdx := 0
-		var pump func(got int)
-		pump = func(got int) {
-			if got >= total {
-				// The master may reuse its buffer once every peer has
-				// copied out.
-				r.Proc().WaitGEThen(st.done[node], int64(r.LocalSize()-1), finish)
-				return
-			}
-			r.Proc().WaitGEThen(del.Counter, int64(got)+1, func() {
-				batch := sumSpanLens(del.Drain(&spanIdx))
-				// Mirror the hardware counter into the shared software
-				// counter the peers poll.
-				r.Node().HW.PollThen(r.Proc(), func() {
-					sw.Add(int64(batch))
-					pump(got + batch)
-				})
-			})
+		l := &torusPumpLoop{
+			del: st.dels[node], sw: st.sw[node], done: st.done[node],
+			p: r.Proc(), node: r.Node().HW,
+			peers: int64(r.LocalSize() - 1), total: total, cont: finish,
 		}
-		pump(0)
+		l.drainFn = l.drain
+		l.mirrorFn = l.mirror
+		l.step()
 
 	default:
 		sw := st.sw[node]
-		del := st.dels[node]
 		if r.Rank() == root {
 			// A non-master root already holds the data; it only signals.
 			st.done[node].Add(1)
@@ -180,38 +169,120 @@ func bcastTorusShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 		// and its buffer is registered; map it once.
 		r.Proc().WaitGEThen(sw, 1, func() {
 			r.CNK().MapThen(r.Proc(), windowKey(0, st.masterBuf[node]), total, func() {
-				cached := quadBcastFootprint(r, total)
-				spanIdx := 0
-				var outer func(seen int)
-				outer = func(seen int) {
-					if seen >= total {
-						st.done[node].Add(1)
-						finish()
-						return
-					}
-					r.Proc().WaitGEThen(sw, int64(seen)+1, func() {
-						r.Node().HW.PollThen(r.Proc(), func() {
-							avail := int(sw.Value())
-							var copyNext func(seen int)
-							copyNext = func(seen int) {
-								if spanIdx < len(del.Spans) && seen < avail {
-									span := del.Spans[spanIdx]
-									spanIdx++
-									r.Node().HW.CopyThen(r.Proc(), span.Len, cached, func() {
-										copyNext(seen + span.Len)
-									})
-									return
-								}
-								outer(seen)
-							}
-							copyNext(seen)
-						})
-					})
+				l := &torusPeerCopyLoop{
+					del: st.dels[node], sw: sw, done: st.done[node],
+					p: r.Proc(), node: r.Node().HW,
+					cached: quadBcastFootprint(r, total), total: total, cont: finish,
 				}
-				outer(0)
+				l.arriveFn = l.arrive
+				l.drainFn = l.drainAvail
+				l.afterFn = l.afterCopy
+				l.outer()
 			})
 		})
 	}
+}
+
+// torusPumpLoop is the shaddr master's mirror pump: wait for new DMA
+// delivery progress, then mirror the hardware counter into the shared
+// software counter the peers poll (one poll charge per batch).
+type torusPumpLoop struct {
+	del      *ccmi.Delivery
+	sw       *sim.Counter
+	done     *sim.Counter
+	p        *sim.Proc
+	node     *hw.Node
+	peers    int64
+	total    int
+	spanIdx  int
+	got      int
+	batch    int
+	cont     func()
+	drainFn  func()
+	mirrorFn func()
+}
+
+//bgplint:hot
+func (l *torusPumpLoop) step() {
+	if l.got >= l.total {
+		// The master may reuse its buffer once every peer has copied out.
+		l.p.WaitGEThen(l.done, l.peers, l.cont)
+		return
+	}
+	l.p.WaitGEThen(l.del.Counter, int64(l.got)+1, l.drainFn)
+}
+
+//bgplint:hot
+func (l *torusPumpLoop) drain() {
+	l.batch = sumSpanLens(l.del.Drain(&l.spanIdx))
+	l.node.PollThen(l.p, l.mirrorFn)
+}
+
+//bgplint:hot
+func (l *torusPumpLoop) mirror() {
+	l.sw.Add(int64(l.batch))
+	l.got += l.batch
+	l.step()
+}
+
+// torusPeerCopyLoop is the shaddr peer's copy-out loop: wait for the master
+// to publish new ranges, poll the software counter, and copy every newly
+// delivered span out of the master's buffer through the process window.
+type torusPeerCopyLoop struct {
+	del      *ccmi.Delivery
+	sw       *sim.Counter
+	done     *sim.Counter
+	p        *sim.Proc
+	node     *hw.Node
+	cached   bool
+	total    int
+	spanIdx  int
+	seen     int
+	avail    int
+	lastLen  int
+	cont     func()
+	arriveFn func()
+	drainFn  func()
+	afterFn  func()
+}
+
+//bgplint:hot
+func (l *torusPeerCopyLoop) outer() {
+	if l.seen >= l.total {
+		l.done.Add(1)
+		l.cont()
+		return
+	}
+	l.p.WaitGEThen(l.sw, int64(l.seen)+1, l.arriveFn)
+}
+
+//bgplint:hot
+func (l *torusPeerCopyLoop) arrive() {
+	l.node.PollThen(l.p, l.drainFn)
+}
+
+//bgplint:hot
+func (l *torusPeerCopyLoop) drainAvail() {
+	l.avail = int(l.sw.Value())
+	l.copyNext()
+}
+
+//bgplint:hot
+func (l *torusPeerCopyLoop) copyNext() {
+	if l.spanIdx < len(l.del.Spans) && l.seen < l.avail {
+		span := l.del.Spans[l.spanIdx]
+		l.spanIdx++
+		l.lastLen = span.Len
+		l.node.CopyThen(l.p, span.Len, l.cached, l.afterFn)
+		return
+	}
+	l.outer()
+}
+
+//bgplint:hot
+func (l *torusPeerCopyLoop) afterCopy() {
+	l.seen += l.lastLen
+	l.copyNext()
 }
 
 // bcastTorusFIFO is the shared-memory Bcast-FIFO algorithm (paper §V-A): the
@@ -238,91 +309,186 @@ func bcastTorusFIFO(r *mpi.Rank, buf data.Buf, root int, done func()) {
 
 	switch {
 	case r.IsNodeMaster():
-		del := st.dels[node]
-		enq := st.enq[node]
-		var outer func(enqueued int)
-		var slots func(enqueued, avail int)
-		outer = func(enqueued int) {
-			if enqueued >= total {
-				r.Proc().WaitGEThen(st.done[node], int64(r.LocalSize()-1), finish)
-				return
-			}
-			r.Proc().WaitGEThen(del.Counter, int64(enqueued)+1, func() {
-				slots(enqueued, int(del.Counter.Value()))
-			})
+		l := &fifoMasterLoop{
+			del: st.dels[node], enq: st.enq[node], done: st.done[node],
+			peer: st.peer[node], p: r.Proc(), node: r.Node().HW,
+			peers: r.LocalSize(), total: total, slot: slot,
+			capacity: capacity, cached: cached, cont: finish,
 		}
-		slots = func(enqueued, avail int) {
-			if enqueued >= avail {
-				outer(enqueued)
-				return
-			}
-			piece := slot
-			if avail-enqueued < piece {
-				piece = avail - enqueued
-			}
-			enqueue := func() {
-				// Copy data and metadata into the reserved slot.
-				r.Node().HW.CopyThen(r.Proc(), piece, cached, func() {
-					enq.Add(int64(piece))
-					slots(enqueued+piece, avail)
-				})
-			}
-			// Space check: every peer must have drained far enough that a
-			// slot is free (myslot - head < fifoSize).
-			if thr := int64(enqueued + piece - capacity); thr > 0 {
-				var waitPeers func(p int)
-				waitPeers = func(p int) {
-					if p >= r.LocalSize() {
-						enqueue()
-						return
-					}
-					r.Proc().WaitGEThen(st.peer[node][p], thr, func() { waitPeers(p + 1) })
-				}
-				waitPeers(1)
-			} else {
-				enqueue()
-			}
-		}
-		outer(0)
+		l.availFn = l.onAvail
+		l.copiedFn = l.copied
+		l.peerOKFn = l.peerOK
+		l.outer()
 
 	default:
-		enq := st.enq[node]
-		consumed := st.peer[node][r.LocalRank()]
-		isRoot := r.Rank() == root
-		var outer func(seen int)
-		var slots func(seen, avail int)
-		outer = func(seen int) {
-			if seen >= total {
-				st.done[node].Add(1)
-				finish()
-				return
-			}
-			r.Proc().WaitGEThen(enq, int64(seen)+1, func() {
-				slots(seen, int(enq.Value()))
-			})
+		l := &fifoPeerLoop{
+			enq: st.enq[node], consumed: st.peer[node][r.LocalRank()],
+			done: st.done[node], p: r.Proc(), node: r.Node().HW,
+			isRoot: r.Rank() == root, cached: cached, total: total, slot: slot,
+			cont: finish,
 		}
-		slots = func(seen, avail int) {
-			if seen >= avail {
-				outer(seen)
-				return
-			}
-			piece := slot
-			if avail-seen < piece {
-				piece = avail - seen
-			}
-			after := func() {
-				// The last arriving reader's decrement frees the slot.
-				consumed.Add(int64(piece))
-				slots(seen+piece, avail)
-			}
-			if !isRoot {
-				r.Node().HW.PollThen(r.Proc(), func() {
-					r.Node().HW.CopyThen(r.Proc(), piece, cached, after)
-				})
-				return
-			}
-			after()
-		}
-		outer(0)
+		l.availFn = l.onAvail
+		l.copyFn = l.copySlot
+		l.afterFn = l.after
+		l.outer()
 	}
+}
+
+// fifoMasterLoop is the Bcast-FIFO master's packetizer: wait for new network
+// delivery, carve the arrived bytes into FIFO slots, enforce the capacity
+// back-pressure against the slowest peer, and pay a core copy per slot.
+type fifoMasterLoop struct {
+	del      *ccmi.Delivery
+	enq      *sim.Counter
+	done     *sim.Counter
+	peer     []*sim.Counter
+	p        *sim.Proc
+	node     *hw.Node
+	peers    int
+	total    int
+	slot     int
+	capacity int
+	cached   bool
+	enqueued int
+	avail    int
+	piece    int
+	thr      int64
+	waitIdx  int
+	cont     func()
+	availFn  func()
+	copiedFn func()
+	peerOKFn func()
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) outer() {
+	if l.enqueued >= l.total {
+		l.p.WaitGEThen(l.done, int64(l.peers-1), l.cont)
+		return
+	}
+	l.p.WaitGEThen(l.del.Counter, int64(l.enqueued)+1, l.availFn)
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) onAvail() {
+	l.avail = int(l.del.Counter.Value())
+	l.slots()
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) slots() {
+	if l.enqueued >= l.avail {
+		l.outer()
+		return
+	}
+	l.piece = l.slot
+	if l.avail-l.enqueued < l.piece {
+		l.piece = l.avail - l.enqueued
+	}
+	// Space check: every peer must have drained far enough that a slot is
+	// free (myslot - head < fifoSize).
+	if thr := int64(l.enqueued + l.piece - l.capacity); thr > 0 {
+		l.thr = thr
+		l.waitIdx = 1
+		l.waitPeers()
+		return
+	}
+	l.enqueue()
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) waitPeers() {
+	if l.waitIdx >= l.peers {
+		l.enqueue()
+		return
+	}
+	l.p.WaitGEThen(l.peer[l.waitIdx], l.thr, l.peerOKFn)
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) peerOK() {
+	l.waitIdx++
+	l.waitPeers()
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) enqueue() {
+	// Copy data and metadata into the reserved slot.
+	l.node.CopyThen(l.p, l.piece, l.cached, l.copiedFn)
+}
+
+//bgplint:hot
+func (l *fifoMasterLoop) copied() {
+	l.enq.Add(int64(l.piece))
+	l.enqueued += l.piece
+	l.slots()
+}
+
+// fifoPeerLoop is the Bcast-FIFO reader loop each peer runs: wait for the
+// master to enqueue, then dequeue every available slot, paying a poll and a
+// core copy per slot (the root already holds the data and only advances its
+// head pointer).
+type fifoPeerLoop struct {
+	enq      *sim.Counter
+	consumed *sim.Counter
+	done     *sim.Counter
+	p        *sim.Proc
+	node     *hw.Node
+	isRoot   bool
+	cached   bool
+	total    int
+	slot     int
+	seen     int
+	avail    int
+	piece    int
+	cont     func()
+	availFn  func()
+	copyFn   func()
+	afterFn  func()
+}
+
+//bgplint:hot
+func (l *fifoPeerLoop) outer() {
+	if l.seen >= l.total {
+		l.done.Add(1)
+		l.cont()
+		return
+	}
+	l.p.WaitGEThen(l.enq, int64(l.seen)+1, l.availFn)
+}
+
+//bgplint:hot
+func (l *fifoPeerLoop) onAvail() {
+	l.avail = int(l.enq.Value())
+	l.slots()
+}
+
+//bgplint:hot
+func (l *fifoPeerLoop) slots() {
+	if l.seen >= l.avail {
+		l.outer()
+		return
+	}
+	l.piece = l.slot
+	if l.avail-l.seen < l.piece {
+		l.piece = l.avail - l.seen
+	}
+	if !l.isRoot {
+		l.node.PollThen(l.p, l.copyFn)
+		return
+	}
+	l.after()
+}
+
+//bgplint:hot
+func (l *fifoPeerLoop) copySlot() {
+	l.node.CopyThen(l.p, l.piece, l.cached, l.afterFn)
+}
+
+//bgplint:hot
+func (l *fifoPeerLoop) after() {
+	// The last arriving reader's decrement frees the slot.
+	l.consumed.Add(int64(l.piece))
+	l.seen += l.piece
+	l.slots()
 }

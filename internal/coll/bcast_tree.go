@@ -112,6 +112,7 @@ func injectAllThen(r *mpi.Rank, st *treeBcastState, cont func()) {
 	l.step()
 }
 
+//bgplint:hot
 func (l *injectLoop) step() {
 	if l.i == len(l.st.spans) {
 		l.cont()
@@ -127,6 +128,7 @@ func (l *injectLoop) step() {
 	}
 }
 
+//bgplint:hot
 func (l *injectLoop) after() {
 	l.st.ops[l.i].Inject()
 	l.i++
@@ -159,6 +161,7 @@ func recvAllOn(p *sim.Proc, net *tree.Network, st *treeBcastState, sw *sim.Count
 	l.step()
 }
 
+//bgplint:hot
 func (l *recvLoop) step() {
 	if l.i == len(l.st.spans) {
 		l.cont()
@@ -169,6 +172,7 @@ func (l *recvLoop) step() {
 	l.p.WaitPlanThen(l.st.ops[l.i].Delivered(), pl, l.afterFn)
 }
 
+//bgplint:hot
 func (l *recvLoop) after() {
 	if l.sw != nil {
 		l.sw.Add(int64(l.st.spans[l.i].Len))
@@ -219,6 +223,7 @@ const (
 	pumpTail               // injection done: keep receiving until all chunks land
 )
 
+//bgplint:hot
 func (m *masterPump) inject() {
 	if m.injIdx == len(m.st.spans) {
 		m.tail()
@@ -234,6 +239,7 @@ func (m *masterPump) inject() {
 	m.p.SleepThen(m.net.TouchTime(m.st.spans[m.injIdx].Len), m.afterInjectFn)
 }
 
+//bgplint:hot
 func (m *masterPump) afterInject() {
 	m.st.ops[m.injIdx].Inject()
 	m.injIdx++
@@ -242,6 +248,8 @@ func (m *masterPump) afterInject() {
 
 // drain opportunistically receives every chunk the network has already
 // delivered before the pump injects the next one.
+//
+//bgplint:hot
 func (m *masterPump) drain() {
 	if m.recvIdx < len(m.st.spans) && m.st.ops[m.recvIdx].Delivered().Fired() {
 		m.phase = pumpDrain
@@ -251,6 +259,7 @@ func (m *masterPump) drain() {
 	m.inject()
 }
 
+//bgplint:hot
 func (m *masterPump) tail() {
 	if m.recvIdx < len(m.st.spans) {
 		m.phase = pumpTail
@@ -262,6 +271,8 @@ func (m *masterPump) tail() {
 
 // recvBlocked parks behind a not-yet-delivered chunk: the wait and the
 // reception packet-touch fuse into one parked stretch.
+//
+//bgplint:hot
 func (m *masterPump) recvBlocked() {
 	i := m.recvIdx
 	pl := m.p.NewPlan()
@@ -269,11 +280,13 @@ func (m *masterPump) recvBlocked() {
 	m.p.WaitPlanThen(m.st.ops[i].Delivered(), pl, m.enterRecvFn)
 }
 
+//bgplint:hot
 func (m *masterPump) enterRecv() {
 	i := m.recvIdx
 	m.onRecv(i, m.st.spans[i], m.afterRecvFn)
 }
 
+//bgplint:hot
 func (m *masterPump) afterRecv() {
 	m.recvIdx++
 	switch m.phase {
@@ -363,6 +376,7 @@ func treePeerCopyThen(r *mpi.Rank, st *treeBcastState, root int, cached bool, co
 	l.step()
 }
 
+//bgplint:hot
 func (l *peerCopyLoop) step() {
 	if l.i == len(l.st.spans) {
 		l.done.Add(1)
@@ -443,6 +457,7 @@ type dmaPeerLoop struct {
 	stepFn   func()
 }
 
+//bgplint:hot
 func (l *dmaPeerLoop) step() {
 	if l.i == len(l.st.spans) {
 		l.cont()
@@ -506,36 +521,17 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 			// Dual mode has no dedicated copy processes: the reception
 			// process also fills the injector's buffer.
 			fillInjector := r.RankOf(node, 0) != root
-			afterMap := func() {
-				net := r.Machine().Tree
-				sw := st.sw[node]
-				p := r.Proc()
-				var step func(i int)
-				step = func(i int) {
-					if i == len(st.spans) {
-						finish()
-						return
-					}
-					span := st.spans[i]
-					pl := p.NewPlan()
-					pl.Sleep(net.TouchTime(span.Len))
-					pl.Add(sw, int64(span.Len))
-					if fillInjector {
-						r.Node().HW.PlanCopy(pl, span.Len, cached)
-					}
-					p.WaitPlanThen(st.ops[i].Delivered(), pl, func() {
-						if fillInjector {
-							st.fill[node].Add(int64(span.Len))
-						}
-						step(i + 1)
-					})
-				}
-				step(0)
+			l := &dualRecvLoop{
+				st: st, net: r.Machine().Tree, sw: st.sw[node], fill: st.fill[node],
+				p: r.Proc(), node: r.Node().HW,
+				fillInjector: fillInjector, cached: cached, cont: finish,
 			}
+			l.stepFn = l.step
+			l.afterFn = l.after
 			if fillInjector {
-				r.CNK().MapThen(r.Proc(), windowKey(0, st.r0Buf[node]), total, afterMap)
+				r.CNK().MapThen(r.Proc(), windowKey(0, st.r0Buf[node]), total, l.stepFn)
 			} else {
-				afterMap()
+				l.step()
 			}
 			return
 		}
@@ -571,6 +567,51 @@ func bcastTreeShaddr(r *mpi.Rank, buf data.Buf, root int, done func()) {
 	}
 }
 
+// dualRecvLoop is the dual-mode reception loop of the shaddr tree broadcast:
+// with no dedicated copy processes, the reception process pays the per-chunk
+// packet-touch, publishes the software counter, and — when the injector is
+// not the root — copies each chunk into the injector's buffer on the same
+// plan.
+type dualRecvLoop struct {
+	st           *treeBcastState
+	net          *tree.Network
+	sw           *sim.Counter
+	fill         *sim.Counter
+	p            *sim.Proc
+	node         *hw.Node
+	fillInjector bool
+	cached       bool
+	i            int
+	cont         func()
+	stepFn       func()
+	afterFn      func()
+}
+
+//bgplint:hot
+func (l *dualRecvLoop) step() {
+	if l.i == len(l.st.spans) {
+		l.cont()
+		return
+	}
+	span := l.st.spans[l.i]
+	pl := l.p.NewPlan()
+	pl.Sleep(l.net.TouchTime(span.Len))
+	pl.Add(l.sw, int64(span.Len))
+	if l.fillInjector {
+		l.node.PlanCopy(pl, span.Len, l.cached)
+	}
+	l.p.WaitPlanThen(l.st.ops[l.i].Delivered(), pl, l.afterFn)
+}
+
+//bgplint:hot
+func (l *dualRecvLoop) after() {
+	if l.fillInjector {
+		l.fill.Add(int64(l.st.spans[l.i].Len))
+	}
+	l.i++
+	l.step()
+}
+
 // shaddrCopyLoop is the shaddr rank-2 copy loop: poll the reception rank's
 // software counter, copy arrived chunks through the process window, and —
 // when the injector is not the root — fill rank 0's buffer too (the extra
@@ -592,6 +633,7 @@ type shaddrCopyLoop struct {
 	stepFn       func()
 }
 
+//bgplint:hot
 func (l *shaddrCopyLoop) step() {
 	if l.i == len(l.st.spans) {
 		l.done.Add(1)

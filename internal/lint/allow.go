@@ -1,64 +1,131 @@
 package lint
 
 import (
+	"fmt"
+	"go/token"
 	"strings"
 )
 
 // allowMarker is the prefix of a suppression annotation:
 //
-//	//bgplint:allow <analyzer>[,<analyzer>...] [reason]
+//	//bgplint:allow <rule>[,<rule>...] -- <justification>
 //
 // The annotation suppresses matching diagnostics on its own line (trailing
 // comment) and on the line immediately below it (standalone comment above
-// the flagged statement).
+// the flagged statement). The rule list must name analyzers explicitly —
+// there is no wildcard — and the justification after the " -- " separator is
+// mandatory: a suppression without a recorded reason is unreviewable.
 const allowMarker = "bgplint:allow"
 
-// suppress drops diagnostics covered by allow annotations in pkg's files.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// allowed[file][line] -> set of analyzer names (or "*" for all).
-	allowed := map[string]map[int]map[string]bool{}
+// allowAuditName is the pseudo-analyzer the allow audit reports under:
+// malformed annotations, unknown rule names, and annotations that suppress
+// nothing are themselves findings, so stale suppressions cannot accumulate.
+const allowAuditName = "allowaudit"
+
+// allowSep separates the rule list from the mandatory justification.
+const allowSep = " -- "
+
+// An allowAnnot is one parsed //bgplint:allow comment.
+type allowAnnot struct {
+	pos    token.Position
+	rules  []string
+	reason string
+	used   bool
+}
+
+func (a *allowAnnot) matches(analyzer string) bool {
+	for _, r := range a.rules {
+		if r == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppress drops diagnostics covered by allow annotations in pkg's files,
+// then appends audit findings for the annotations themselves. ran is the
+// analyzer set this Run executed: an annotation is only reported as unused
+// when every rule it names actually ran (running -only maporder must not
+// condemn a simdeterminism allow).
+func suppress(pkg *Package, diags []Diagnostic, ran []*Analyzer) []Diagnostic {
+	var annots []*allowAnnot
+	// allowed[file][line] -> annotations in effect on that line.
+	allowed := map[string]map[int][]*allowAnnot{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				rest, ok := strings.CutPrefix(text, allowMarker)
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
+				a := &allowAnnot{pos: pkg.Fset.Position(c.Pos())}
+				spec, reason, hasSep := strings.Cut(rest, allowSep)
+				if hasSep {
+					a.reason = strings.TrimSpace(reason)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := allowed[pos.Filename]
+				if fields := strings.Fields(spec); len(fields) > 0 {
+					a.rules = strings.Split(fields[0], ",")
+				}
+				annots = append(annots, a)
+				byLine := allowed[a.pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					allowed[pos.Filename] = byLine
+					byLine = map[int][]*allowAnnot{}
+					allowed[a.pos.Filename] = byLine
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set := byLine[line]
-					if set == nil {
-						set = map[string]bool{}
-						byLine[line] = set
-					}
-					for _, name := range strings.Split(fields[0], ",") {
-						set[name] = true
-					}
+				for _, line := range []int{a.pos.Line, a.pos.Line + 1} {
+					byLine[line] = append(byLine[line], a)
 				}
 			}
 		}
 	}
-	if len(allowed) == 0 {
-		return diags
-	}
+
 	kept := diags[:0]
 	for _, d := range diags {
-		set := allowed[d.Position.Filename][d.Position.Line]
-		if set[d.Analyzer] || set["*"] {
+		suppressed := false
+		for _, a := range allowed[d.Position.Filename][d.Position.Line] {
+			if a.matches(d.Analyzer) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	ranSet := map[string]bool{}
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	for _, a := range annots {
+		audit := func(format string, args ...any) {
+			kept = append(kept, Diagnostic{
+				Analyzer: allowAuditName,
+				Severity: SevError,
+				Position: a.pos,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		if len(a.rules) == 0 {
+			audit("allow annotation names no rule; write //bgplint:allow <rule> -- <justification>")
 			continue
 		}
-		kept = append(kept, d)
+		if a.reason == "" {
+			audit("allow annotation has no justification; append %q and the reason the finding is safe", strings.TrimSpace(allowSep))
+		}
+		allRan := true
+		for _, r := range a.rules {
+			if ByName(r) == nil {
+				audit("allow annotation names unknown rule %q (see bgplint -list)", r)
+				allRan = false
+			} else if !ranSet[r] {
+				allRan = false
+			}
+		}
+		if allRan && !a.used {
+			audit("allow annotation suppresses no %s finding; remove it", strings.Join(a.rules, "/"))
+		}
 	}
 	return kept
 }

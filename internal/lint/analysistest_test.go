@@ -219,6 +219,128 @@ func TestSanctionedGoFileIsExactlyOne(t *testing.T) {
 	}
 }
 
+func TestProgFrame(t *testing.T) {
+	runFixture(t, ProgFrame, "bgpcoll/internal/coll", "testdata/progframe")
+}
+
+// TestProgFrameBadFixture pins the CI gate-gate: the deliberately broken
+// scratch collective must fail the full suite with exactly the planted
+// tail-position diagnostic, proving the gate itself still gates.
+func TestProgFrameBadFixture(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/progframe_bad", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the planted one: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "progframe" || !strings.Contains(d.Message, "must be the last action") {
+		t.Errorf("planted bug not caught as a progframe tail violation: %s", d)
+	}
+	if d.Severity != SevError {
+		t.Errorf("planted bug reported as %s, want %s", d.Severity, SevError)
+	}
+}
+
+func TestVTime(t *testing.T) {
+	runFixture(t, VTime, "bgpcoll/internal/coll", "testdata/vtime")
+}
+
+// TestVTimeBenchSanctionedFile checks the host-facing exemption is
+// file-specific: parallel.go under bgpcoll/internal/bench may read host
+// state, any sibling file may not.
+func TestVTimeBenchSanctionedFile(t *testing.T) {
+	runFixture(t, VTime, "bgpcoll/internal/bench", "testdata/vtime_bench")
+}
+
+// TestVTimeSanctionedFileIsPathSpecific reloads the bench fixture under a
+// collective import path: parallel.go loses its exemption there, adding its
+// conversion and parameter sinks to the two always-flagged ones.
+func TestVTimeSanctionedFileIsPathSpecific(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/vtime_bench", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{VTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4 (parallel.go exemption must be path-specific):", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, HotAlloc, "bgpcoll/internal/coll", "testdata/hotalloc")
+}
+
+// TestHotAllocSeverity pins the advisory classification: hotalloc findings
+// report but must not fail the error gate.
+func TestHotAllocSeverity(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/hotalloc", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{HotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("hotalloc fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Severity != SevAdvisory {
+			t.Errorf("hotalloc finding has severity %s, want %s: %s", d.Severity, SevAdvisory, d)
+		}
+	}
+}
+
+// TestAllowAudit exercises the suppression audit directly (audit findings
+// land on the annotation's own comment line, which cannot also carry a
+// want comment).
+func TestAllowAudit(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/allowaudit", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{SimDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMsgs := []string{
+		"names no rule",
+		"no justification",
+		`unknown rule "nosuchrule"`,
+		"suppresses no simdeterminism finding",
+	}
+	for _, want := range wantMsgs {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == allowAuditName && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no allowaudit finding containing %q", want)
+		}
+	}
+	if len(diags) != len(wantMsgs) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(wantMsgs))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
 // TestRepoClean runs the full suite over the whole module: the tree must
 // stay lint-clean, making the determinism guarantee mechanical. This is the
 // same gate CI applies via `go run ./cmd/bgplint ./...`.

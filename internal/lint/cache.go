@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheSchema versions the cached diagnostic format and the analysis
+// semantics baked into a key. Bump it whenever an analyzer's behavior
+// changes in a way its Name+Doc string does not capture.
+const cacheSchema = "bgplint-cache-v1"
+
+// A Cache memoizes per-package diagnostics on disk, keyed by a content hash
+// of the package directory, its transitive module-internal imports, and the
+// analyzer set. A hit replays the stored diagnostics without parsing or
+// type-checking anything, which is what makes the CI lint gate cheap on
+// unchanged trees; any edit to a package or one of its dependencies changes
+// the key and forces a fresh run.
+type Cache struct {
+	Dir    string // storage directory, one JSON file per key
+	loader *Loader
+
+	dirHashes map[string]string   // package dir -> hash of its .go files
+	dirDeps   map[string][]string // package dir -> module-internal import dirs
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir. An empty dir
+// selects the default location: $BGPLINT_CACHE, or bgplint/ under the
+// user cache directory.
+func NewCache(dir string, l *Loader) (*Cache, error) {
+	if dir == "" {
+		if env := os.Getenv("BGPLINT_CACHE"); env != "" {
+			dir = env
+		} else {
+			base, err := os.UserCacheDir()
+			if err != nil {
+				return nil, fmt.Errorf("lint: no cache dir: %w (set BGPLINT_CACHE)", err)
+			}
+			dir = filepath.Join(base, "bgplint")
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		Dir:       dir,
+		loader:    l,
+		dirHashes: map[string]string{},
+		dirDeps:   map[string][]string{},
+	}, nil
+}
+
+// Key computes the cache key for analyzing pkgDir with the given analyzer
+// set. The hash covers every .go file in the directory and, transitively,
+// in each module-internal import (discovered with an imports-only parse, no
+// type-checking), so a dependency edit invalidates its dependents.
+func (c *Cache) Key(pkgDir string, analyzers []*Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s %s %s\n", a.Name, a.severity(), a.Doc)
+	}
+
+	seen := map[string]bool{}
+	var visit func(dir string) error
+	visit = func(dir string) error {
+		if seen[dir] {
+			return nil
+		}
+		seen[dir] = true
+		dh, err := c.hashDir(dir)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(c.loader.Root, dir)
+		if err != nil {
+			rel = dir
+		}
+		fmt.Fprintf(h, "dir %s %s\n", filepath.ToSlash(rel), dh)
+		deps, err := c.depDirs(dir)
+		if err != nil {
+			return err
+		}
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(pkgDir); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// hashDir hashes the names, sizes, and contents of the directory's .go
+// files.
+func (c *Cache) hashDir(dir string) (string, error) {
+	if h, ok := c.dirHashes[dir]; ok {
+		return h, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %d\n", name, len(data))
+		h.Write(data)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.dirHashes[dir] = sum
+	return sum, nil
+}
+
+// depDirs returns the directories of dir's module-internal imports (test
+// files included: a test-only dependency edit can change diagnostics too).
+func (c *Cache) depDirs(dir string) ([]string, error) {
+	if deps, ok := c.dirDeps[dir]; ok {
+		return deps, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	depSet := map[string]bool{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			mod := c.loader.Module
+			if path != mod && !strings.HasPrefix(path, mod+"/") {
+				continue
+			}
+			sub := strings.TrimPrefix(strings.TrimPrefix(path, mod), "/")
+			depSet[filepath.Join(c.loader.Root, filepath.FromSlash(sub))] = true
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for d := range depSet {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	c.dirDeps[dir] = deps
+	return deps, nil
+}
+
+// cacheEntry is the on-disk value: the diagnostics one package produced.
+type cacheEntry struct {
+	Schema string
+	Diags  []Diagnostic
+}
+
+// Get returns the cached diagnostics for key, if present and well-formed.
+func (c *Cache) Get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.Dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.Schema != cacheSchema {
+		return nil, false
+	}
+	return ent.Diags, true
+}
+
+// Put stores the diagnostics for key. A corrupt or unwritable cache is not
+// an analysis failure, so callers may ignore the error.
+func (c *Cache) Put(key string, diags []Diagnostic) error {
+	data, err := json.Marshal(cacheEntry{Schema: cacheSchema, Diags: diags})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.Dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.Dir, key+".json"))
+}

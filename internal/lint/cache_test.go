@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestCache(t *testing.T, l *Loader) *Cache {
+	t.Helper()
+	c, err := NewCache(t.TempDir(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The key must change when the package's own files change, when a
+// module-internal dependency changes, and when the analyzer set changes —
+// and must not change otherwise.
+func TestCacheKeySensitivity(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module scratchmod\n\ngo 1.22\n",
+		"app/app.go":  "package app\n\nimport \"scratchmod/dep\"\n\nvar _ = dep.D\n",
+		"dep/dep.go":  "package dep\n\nvar D = 1\n",
+		"other/o.go":  "package other\n\nvar O = 1\n",
+		"app/util.go": "package app\n\nfunc util() {}\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appDir := filepath.Join(root, "app")
+	c := newTestCache(t, l)
+	base, err := c.Key(appDir, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := newTestCache(t, l).Key(appDir, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != base {
+		t.Error("key not deterministic across cache instances")
+	}
+
+	touch := func(rel, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(root, filepath.FromSlash(rel)), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	touch("app/util.go", "package app\n\nfunc util() { _ = 2 }\n")
+	afterOwn, err := newTestCache(t, l).Key(appDir, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterOwn == base {
+		t.Error("key unchanged after editing a package file")
+	}
+
+	touch("dep/dep.go", "package dep\n\nvar D = 2\n")
+	afterDep, err := newTestCache(t, l).Key(appDir, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterDep == afterOwn {
+		t.Error("key unchanged after editing a dependency")
+	}
+
+	touch("other/o.go", "package other\n\nvar O = 2\n")
+	afterOther, err := newTestCache(t, l).Key(appDir, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterOther != afterDep {
+		t.Error("key changed after editing an unrelated package")
+	}
+
+	fewer, err := newTestCache(t, l).Key(appDir, []*Analyzer{MapOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fewer == afterDep {
+		t.Error("key unchanged after changing the analyzer set")
+	}
+}
+
+// Get must replay exactly what Put stored, and reject entries from another
+// schema generation.
+func TestCacheRoundTrip(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.22\n",
+		"a.go":   "package a\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCache(t, l)
+	diags := []Diagnostic{{
+		Analyzer: "simdeterminism",
+		Severity: SevError,
+		Position: token.Position{Filename: "a.go", Line: 3, Column: 9},
+		Message:  "stored finding",
+	}}
+	if err := c.Put("deadbeef", diags); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("deadbeef")
+	if !ok {
+		t.Fatal("cache miss after Put")
+	}
+	if len(got) != 1 || got[0] != diags[0] {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if _, ok := c.Get("cafef00d"); ok {
+		t.Error("hit for a key never stored")
+	}
+
+	stale, _ := json.Marshal(cacheEntry{Schema: "bgplint-cache-v0", Diags: diags})
+	if err := os.WriteFile(filepath.Join(c.Dir, "stale.json"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("stale"); ok {
+		t.Error("hit for an entry from another schema generation")
+	}
+}
+
+// The JSON and SARIF encoders carry analyzer, severity, position, and
+// message through, with module-relative paths.
+func TestOutputEncodings(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "progframe",
+			Severity: SevError,
+			Position: token.Position{Filename: "/mod/internal/coll/x.go", Line: 12, Column: 3},
+			Message:  "parking operation WaitThen must be the last action on every path",
+		},
+		{
+			Analyzer: "hotalloc",
+			Severity: SevAdvisory,
+			Position: token.Position{Filename: "/mod/internal/sim/k.go", Line: 7, Column: 2},
+			Message:  "make allocates in //bgplint:hot function push",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags, "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, buf.String())
+	}
+	if len(arr) != 2 {
+		t.Fatalf("got %d JSON findings, want 2", len(arr))
+	}
+	if arr[0]["file"] != "internal/coll/x.go" || arr[0]["severity"] != "error" {
+		t.Errorf("first JSON finding wrong: %v", arr[0])
+	}
+	if arr[1]["severity"] != "advisory" {
+		t.Errorf("advisory severity lost: %v", arr[1])
+	}
+
+	buf.Reset()
+	if err := WriteSARIF(&buf, diags, "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("bad SARIF output: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad SARIF skeleton: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "bgplint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	// Rules cover the full suite plus the allow audit.
+	if want := len(Analyzers()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	if run.Results[0].Level != "error" || run.Results[1].Level != "note" {
+		t.Errorf("levels %q/%q, want error/note", run.Results[0].Level, run.Results[1].Level)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/coll/x.go" || loc.Region.StartLine != 12 {
+		t.Errorf("bad location: %+v", loc)
+	}
+	if !strings.Contains(buf.String(), "sarif-2.1.0.json") {
+		t.Error("SARIF $schema missing")
+	}
+}

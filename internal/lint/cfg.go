@@ -1,0 +1,380 @@
+// Control-flow graph construction: the flow-aware half of the bgplint
+// engine. A CFG is built per function body (FuncDecl or FuncLit — nested
+// literals get their own graphs) and decomposes the body into basic blocks
+// whose nodes are statements and control expressions in evaluation order.
+//
+// The graph distinguishes three ways a path can end:
+//
+//   - Exit: the synthetic block every return and every fall-off-the-end
+//     reaches. "Tail position" checks ask what runs between a node and Exit.
+//   - a panic-terminated block: no successors and not Exit. Paths that only
+//     panic never complete the function, so allocation and tail rules may
+//     exempt them (failure formatting is not a hot path).
+//   - an unreachable block: no predecessors; produced after returns and
+//     branches so the builder always has a current block.
+//
+// The builder handles if/for/range/switch/type-switch/select, labeled
+// break/continue, goto, fallthrough, and treats a call to the predeclared
+// panic as terminating. It needs no type information; analyses on top
+// (dataflow.go) take *types.Info.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a basic block: nodes execute in order, then control transfers
+// to exactly one of Succs (zero Succs on panic-terminated blocks and Exit).
+type Block struct {
+	Nodes []ast.Node // statements and control expressions in evaluation order
+	Succs []*Block
+	Preds []*Block
+	Index int // position in CFG.Blocks, entry is 0
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // synthetic; holds no nodes
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of one function body. Nested FuncLit
+// bodies are not traversed; build separate graphs for them.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.labels = map[string]*Block{}
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	for name, srcs := range b.pendingGotos {
+		if dst := b.labels[name]; dst != nil {
+			for _, src := range srcs {
+				b.edge(src, dst)
+			}
+		}
+	}
+	return b.g
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+// ReachesExit returns the set of blocks from which Exit is reachable.
+// Blocks outside the set can only end in panic (or loop forever).
+func (g *CFG) ReachesExit() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, p := range b.Preds {
+			visit(p)
+		}
+	}
+	visit(g.Exit)
+	return seen
+}
+
+type cfgBuilder struct {
+	g            *CFG
+	cur          *Block
+	scopes       []cfgScope
+	labels       map[string]*Block
+	pendingGotos map[string][]*Block
+	curLabel     string // label attached to the next loop/switch statement
+}
+
+// A cfgScope is a break/continue target pair for an enclosing loop, switch,
+// or select (continueTo is nil for non-loops).
+type cfgScope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the label recorded by an enclosing LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		then, after := b.newBlock(), b.newBlock()
+		b.edge(b.cur, then)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(b.cur, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(b.cur, after)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body, after := b.newBlock(), b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		contTo := head
+		if s.Post != nil {
+			contTo = b.newBlock()
+			contTo.Nodes = append(contTo.Nodes, s.Post)
+			b.edge(contTo, head)
+		}
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, continueTo: contTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, contTo)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // carries X and the key/value assignment
+		body, after := b.newBlock(), b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+		head := b.cur
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.labels[s.Label.Name] = lb
+		b.cur = lb
+		b.curLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.curLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findScope(s.Label, false); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if t := b.findScope(s.Label, true); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			if dst := b.labels[s.Label.Name]; dst != nil {
+				b.edge(b.cur, dst)
+			} else {
+				if b.pendingGotos == nil {
+					b.pendingGotos = map[string][]*Block{}
+				}
+				b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], b.cur)
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// handled by caseClauses; ignore here
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			// Terminates the function: no successor, and not Exit.
+			b.cur = b.newBlock()
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Decl, assignment, inc/dec, defer, go, send: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch clause structure.
+// allowFallthrough is true for expression switches.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, allowFallthrough bool) {
+	after := b.newBlock()
+	head := b.cur
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+		if len(c.(*ast.CaseClause).List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fellThrough := false
+		if allowFallthrough && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				stmts = stmts[:len(stmts)-1]
+				fellThrough = true
+			}
+		}
+		b.stmtList(stmts)
+		if fellThrough && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// findScope resolves a break (needContinue=false) or continue target.
+func (b *cfgBuilder) findScope(label *ast.Ident, needContinue bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if label != nil && sc.label != label.Name {
+			continue
+		}
+		if needContinue {
+			if sc.continueTo != nil {
+				return sc.continueTo
+			}
+			if label != nil {
+				return nil
+			}
+			continue
+		}
+		return sc.breakTo
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic. The
+// identifier is never shadowed in this module, so a name check suffices and
+// keeps the builder independent of type information.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

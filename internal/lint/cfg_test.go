@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks a self-contained snippet (no imports;
+// declare bodyless stubs for helpers) and returns the file plus type info.
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("t", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+// funcDecl finds the named function declaration.
+func funcDecl(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// callBlock finds the block and node index of the statement calling the
+// named function.
+func callBlock(t *testing.T, g *CFG, name string) (*Block, int) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				return b, i
+			}
+		}
+	}
+	t.Fatalf("no call to %q in CFG", name)
+	return nil, 0
+}
+
+const cfgStubs = `
+func a()
+func b()
+func c()
+func d()
+func cond() bool
+`
+
+func TestCFGIfJoin(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f() {
+	if cond() {
+		a()
+	} else {
+		b()
+	}
+	c()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	reach := g.Reachable()
+	for _, name := range []string{"a", "b", "c"} {
+		blk, _ := callBlock(t, g, name)
+		if !reach[blk] {
+			t.Errorf("block of %s() not reachable", name)
+		}
+	}
+	aBlk, _ := callBlock(t, g, "a")
+	cBlk, _ := callBlock(t, g, "c")
+	// a's branch must flow into the join holding c.
+	onPath := false
+	for _, s := range aBlk.Succs {
+		if s == cBlk {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Errorf("then-branch does not flow into join block")
+	}
+	if !g.ReachesExit()[cBlk] {
+		t.Errorf("join block cannot reach exit")
+	}
+}
+
+func TestCFGReturnMakesFollowingUnreachable(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f() {
+	a()
+	return
+	b()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	reach := g.Reachable()
+	aBlk, _ := callBlock(t, g, "a")
+	bBlk, _ := callBlock(t, g, "b")
+	if !reach[aBlk] {
+		t.Errorf("a() unreachable")
+	}
+	if reach[bBlk] {
+		t.Errorf("b() after return should be unreachable")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f() {
+	if cond() {
+		a()
+		panic("boom")
+	}
+	b()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	exits := g.ReachesExit()
+	aBlk, _ := callBlock(t, g, "a")
+	bBlk, _ := callBlock(t, g, "b")
+	if exits[aBlk] {
+		t.Errorf("panic-terminated block should not reach exit")
+	}
+	if !exits[bBlk] {
+		t.Errorf("fallthrough block should reach exit")
+	}
+	if !g.Reachable()[aBlk] {
+		t.Errorf("panic block should still be reachable from entry")
+	}
+}
+
+func TestCFGLoopEdges(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if cond() {
+			continue
+		}
+		a()
+		if cond() {
+			break
+		}
+	}
+	b()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	reach := g.Reachable()
+	aBlk, _ := callBlock(t, g, "a")
+	bBlk, _ := callBlock(t, g, "b")
+	if !reach[aBlk] || !reach[bBlk] {
+		t.Fatalf("loop body or after-loop unreachable")
+	}
+	// The loop body must be able to iterate: a() reaches itself.
+	seen := map[*Block]bool{}
+	var visit func(*Block) bool
+	visit = func(blk *Block) bool {
+		if blk == aBlk {
+			return true
+		}
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	again := false
+	for _, s := range aBlk.Succs {
+		if visit(s) {
+			again = true
+		}
+	}
+	if !again {
+		t.Errorf("loop body does not iterate back to itself")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if cond() {
+				break outer
+			}
+			a()
+		}
+	}
+	b()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	if !g.Reachable()[first(t, g, "b")] {
+		t.Errorf("after-loop block unreachable through labeled break")
+	}
+	if !g.Reachable()[first(t, g, "a")] {
+		t.Errorf("inner loop body unreachable")
+	}
+}
+
+func first(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	b, _ := callBlock(t, g, name)
+	return b
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f(x int) {
+	switch x {
+	case 0:
+		a()
+		fallthrough
+	case 1:
+		b()
+	default:
+		c()
+	}
+	d()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	aBlk, _ := callBlock(t, g, "a")
+	bBlk, _ := callBlock(t, g, "b")
+	linked := false
+	for _, s := range aBlk.Succs {
+		if s == bBlk {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Errorf("fallthrough case not linked to next case body")
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if !g.Reachable()[first(t, g, name)] {
+			t.Errorf("switch arm %s unreachable", name)
+		}
+	}
+}
+
+func TestCFGRangeAndGoto(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			goto done
+		}
+		a()
+	}
+	b()
+done:
+	c()
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	for _, name := range []string{"a", "b", "c"} {
+		if !g.Reachable()[first(t, g, name)] {
+			t.Errorf("%s() unreachable", name)
+		}
+	}
+	// The goto must bypass b(): some predecessor of c's block is the goto
+	// block inside the loop, i.e. c is reachable without passing b.
+	cBlk, _ := callBlock(t, g, "c")
+	bBlk, _ := callBlock(t, g, "b")
+	direct := false
+	for _, p := range cBlk.Preds {
+		if p != bBlk && !strings.Contains(blockCalls(p), "b") {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Errorf("goto edge to label not built")
+	}
+}
+
+// blockCalls summarizes the function names called in a block (test aid).
+func blockCalls(b *Block) string {
+	var names []string
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					names = append(names, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return strings.Join(names, ",")
+}
+
+func TestCFGInfiniteLoopDoesNotReachExit(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package p
+`+cfgStubs+`
+func f() {
+	for {
+		a()
+	}
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	aBlk, _ := callBlock(t, g, "a")
+	if g.ReachesExit()[aBlk] {
+		t.Errorf("body of for{} without break should not reach exit")
+	}
+}

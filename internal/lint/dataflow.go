@@ -1,0 +1,400 @@
+// Dataflow analyses over the CFG: reaching definitions and a forward taint
+// lattice. Both are may-analyses solved by a standard worklist with set-union
+// join; facts are keyed by *types.Var, so they are flow-sensitive per
+// function and ignore aliasing through the heap (fields and indexed elements
+// get weak updates). That is precise enough for the contracts bgplint
+// proves: the tracked values — continuation funcs, wall-clock reads,
+// map-iteration variables — live in locals in the code under analysis.
+//
+// Nested FuncLit bodies are opaque: they have their own CFGs and their own
+// analyses, and an expression whose only function-typed content is a closure
+// literal is neither a definition nor a taint carrier here.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectNoFuncLit walks n like ast.Inspect but does not descend into
+// nested function literals.
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		return fn(x)
+	})
+}
+
+// defFact maps each variable to the set of definition nodes that may have
+// produced its current value.
+type defFact map[*types.Var]map[ast.Node]bool
+
+func (f defFact) clone() defFact {
+	g := make(defFact, len(f))
+	for v, defs := range f {
+		d := make(map[ast.Node]bool, len(defs))
+		for n := range defs {
+			d[n] = true
+		}
+		g[v] = d
+	}
+	return g
+}
+
+// merge unions other into f, reporting whether f changed.
+func (f defFact) merge(other defFact) bool {
+	changed := false
+	for v, defs := range other {
+		dst := f[v]
+		if dst == nil {
+			dst = map[ast.Node]bool{}
+			f[v] = dst
+		}
+		for n := range defs {
+			if !dst[n] {
+				dst[n] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ReachingDefs holds, for each block, the definitions reaching its entry.
+type ReachingDefs struct {
+	g    *CFG
+	info *types.Info
+	in   map[*Block]defFact
+}
+
+// NewReachingDefs solves reaching definitions over g. params are the
+// function's parameter (and receiver) identifiers; each is its own
+// definition at entry.
+func NewReachingDefs(g *CFG, info *types.Info, params []*ast.Ident) *ReachingDefs {
+	rd := &ReachingDefs{g: g, info: info, in: map[*Block]defFact{}}
+	entry := defFact{}
+	for _, id := range params {
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			entry[v] = map[ast.Node]bool{id: true}
+		}
+	}
+	rd.in[g.Entry] = entry
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := rd.in[b].clone()
+		for _, n := range b.Nodes {
+			rd.transfer(out, n)
+		}
+		for _, s := range b.Succs {
+			sin := rd.in[s]
+			if sin == nil {
+				rd.in[s] = out.clone()
+				work = append(work, s)
+				continue
+			}
+			if sin.merge(out) {
+				work = append(work, s)
+			}
+		}
+	}
+	return rd
+}
+
+// transfer applies one node's definitions to the fact in place: each defined
+// variable's previous definitions are killed and replaced by this node.
+func (rd *ReachingDefs) transfer(f defFact, n ast.Node) {
+	def := func(id *ast.Ident, site ast.Node) {
+		if id.Name == "_" {
+			return
+		}
+		v := rd.objOf(id)
+		if v == nil {
+			return
+		}
+		f[v] = map[ast.Node]bool{site: true}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				def(id, n)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			def(id, n)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, id := range vs.Names {
+				def(id, vs)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				def(id, n)
+			}
+		}
+	}
+}
+
+// objOf resolves an identifier to its variable object, whether the
+// identifier defines or uses it.
+func (rd *ReachingDefs) objOf(id *ast.Ident) *types.Var {
+	if v, ok := rd.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := rd.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// Reaching returns the definition nodes of v that may reach block b's i-th
+// node (i == len(b.Nodes) queries the block's exit).
+func (rd *ReachingDefs) Reaching(b *Block, i int, v *types.Var) []ast.Node {
+	f := rd.in[b]
+	if f == nil {
+		return nil // unreachable block
+	}
+	f = f.clone()
+	for j := 0; j < i && j < len(b.Nodes); j++ {
+		rd.transfer(f, b.Nodes[j])
+	}
+	var out []ast.Node
+	for n := range f[v] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// A TaintSpec configures the forward taint analysis.
+type TaintSpec struct {
+	// Source reports whether the expression introduces taint by itself,
+	// e.g. a call to time.Now. It is consulted on every sub-expression.
+	Source func(e ast.Expr) bool
+	// RangeSource reports whether ranging over x taints the iteration
+	// variables regardless of x's own taint, e.g. any map operand
+	// (iteration order is nondeterministic even over untainted maps).
+	RangeSource func(x ast.Expr) bool
+}
+
+// taintFact is the set of variables that may hold a tainted value.
+type taintFact map[*types.Var]bool
+
+func (f taintFact) clone() taintFact {
+	g := make(taintFact, len(f))
+	for v := range f {
+		g[v] = true
+	}
+	return g
+}
+
+func (f taintFact) merge(other taintFact) bool {
+	changed := false
+	for v := range other {
+		if !f[v] {
+			f[v] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Taint holds a solved forward taint analysis over one CFG.
+type Taint struct {
+	g    *CFG
+	info *types.Info
+	spec TaintSpec
+	in   map[*Block]taintFact
+}
+
+// NewTaint solves the taint lattice over g.
+func NewTaint(g *CFG, info *types.Info, spec TaintSpec) *Taint {
+	t := &Taint{g: g, info: info, spec: spec, in: map[*Block]taintFact{}}
+	t.in[g.Entry] = taintFact{}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := t.in[b].clone()
+		for _, n := range b.Nodes {
+			t.transfer(out, n)
+		}
+		for _, s := range b.Succs {
+			sin := t.in[s]
+			if sin == nil {
+				t.in[s] = out.clone()
+				work = append(work, s)
+				continue
+			}
+			if sin.merge(out) {
+				work = append(work, s)
+			}
+		}
+	}
+	return t
+}
+
+// transfer applies one node's effect on the tainted-variable set. Plain
+// identifier targets get strong updates; assignments through selectors or
+// indices weakly taint the root variable and never clean it.
+func (t *Taint) transfer(f taintFact, n ast.Node) {
+	set := func(e ast.Expr, tainted bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			v := t.varOf(e)
+			if v == nil {
+				return
+			}
+			if tainted {
+				f[v] = true
+			} else {
+				delete(f, v)
+			}
+		default:
+			if !tainted {
+				return
+			}
+			if root := rootIdent(e); root != nil {
+				if v := t.varOf(root); v != nil {
+					f[v] = true
+				}
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Evaluate RHS taint under the pre-state, then update.
+		taints := make([]bool, len(n.Lhs))
+		for i := range n.Lhs {
+			rhs := n.Rhs[0]
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			}
+			taints[i] = t.exprTainted(f, rhs)
+		}
+		for i, lhs := range n.Lhs {
+			set(lhs, taints[i])
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				tainted := false
+				if len(vs.Values) == 1 {
+					tainted = t.exprTainted(f, vs.Values[0])
+				} else if i < len(vs.Values) {
+					tainted = t.exprTainted(f, vs.Values[i])
+				}
+				set(id, tainted)
+			}
+		}
+	case *ast.RangeStmt:
+		tainted := t.spec.RangeSource != nil && t.spec.RangeSource(n.X) ||
+			t.exprTainted(f, n.X)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e != nil {
+				set(e, tainted)
+			}
+		}
+	}
+}
+
+// varOf resolves an identifier to its variable object.
+func (t *Taint) varOf(id *ast.Ident) *types.Var {
+	if v, ok := t.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := t.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// rootIdent returns the base identifier of a selector/index/star/paren
+// chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprTainted reports whether e may evaluate to a tainted value under fact
+// f: it mentions a tainted variable or contains a source expression.
+// A call with a tainted argument is tainted (the conservative "contains"
+// rule), which is how taint survives conversions like int64(t.UnixNano()).
+func (t *Taint) exprTainted(f taintFact, e ast.Expr) bool {
+	tainted := false
+	inspectNoFuncLit(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && t.spec.Source != nil && t.spec.Source(expr) {
+			tainted = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v := t.varOf(id); v != nil && f[v] {
+				tainted = true
+				return false
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// Walk visits every node of every reachable block in order, passing a
+// tainted predicate evaluated under the state holding just before that
+// node. Sink checks use it to scan for tainted expressions in flow order.
+func (t *Taint) Walk(fn func(n ast.Node, tainted func(e ast.Expr) bool)) {
+	reach := t.g.Reachable()
+	for _, b := range t.g.Blocks {
+		if !reach[b] || t.in[b] == nil {
+			continue
+		}
+		f := t.in[b].clone()
+		for _, n := range b.Nodes {
+			cur := f
+			fn(n, func(e ast.Expr) bool { return t.exprTainted(cur, e) })
+			t.transfer(f, n)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// lookupVar finds the unique local variable with the given name used or
+// defined in the function.
+func lookupVar(t *testing.T, info *types.Info, fd *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	var found *types.Var
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			found = v
+		} else if v, ok := info.Uses[id].(*types.Var); ok && found == nil {
+			found = v
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no variable %q", name)
+	}
+	return found
+}
+
+func TestReachingDefsBranch(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func cond() bool
+func use(int)
+func f() {
+	x := 1
+	if cond() {
+		x = 2
+	}
+	use(x)
+}
+`)
+	fd := funcDecl(t, f, "f")
+	g := NewCFG(fd.Body)
+	rd := NewReachingDefs(g, info, nil)
+	x := lookupVar(t, info, fd, "x")
+	useBlk, useIdx := callBlock(t, g, "use")
+	defs := rd.Reaching(useBlk, useIdx, x)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs of x at use(x), want 2 (initial + branch)", len(defs))
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func use(int)
+func f() {
+	x := 1
+	x = 2
+	use(x)
+}
+`)
+	fd := funcDecl(t, f, "f")
+	g := NewCFG(fd.Body)
+	rd := NewReachingDefs(g, info, nil)
+	x := lookupVar(t, info, fd, "x")
+	useBlk, useIdx := callBlock(t, g, "use")
+	defs := rd.Reaching(useBlk, useIdx, x)
+	if len(defs) != 1 {
+		t.Fatalf("got %d reaching defs, want 1 (x := 1 must be killed)", len(defs))
+	}
+	if as, ok := defs[0].(*ast.AssignStmt); !ok || len(as.Rhs) != 1 {
+		t.Fatalf("surviving def is not the second assignment: %T", defs[0])
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func cond() bool
+func use(int)
+func f() {
+	x := 0
+	for cond() {
+		use(x)
+		x = 1
+	}
+}
+`)
+	fd := funcDecl(t, f, "f")
+	g := NewCFG(fd.Body)
+	rd := NewReachingDefs(g, info, nil)
+	x := lookupVar(t, info, fd, "x")
+	useBlk, useIdx := callBlock(t, g, "use")
+	defs := rd.Reaching(useBlk, useIdx, x)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs at use(x) in loop, want 2 (init + back edge)", len(defs))
+	}
+}
+
+// taintSpec taints calls to source() and, optionally, all range operands.
+func taintSpec(rangeAll bool) TaintSpec {
+	return TaintSpec{
+		Source: func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "source"
+		},
+		RangeSource: func(x ast.Expr) bool { return rangeAll },
+	}
+}
+
+// sinkArgTaint runs the taint walk and returns whether the first argument
+// of each sink() call is tainted, in flow order.
+func sinkArgTaint(g *CFG, info *types.Info, spec TaintSpec) []bool {
+	tt := NewTaint(g, info, spec)
+	var out []bool
+	tt.Walk(func(n ast.Node, tainted func(ast.Expr) bool) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" && len(call.Args) > 0 {
+			out = append(out, tainted(call.Args[0]))
+		}
+	})
+	return out
+}
+
+func TestTaintFlowsThroughAssignment(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func source() int
+func sink(int)
+func f() {
+	x := source()
+	y := x + 1
+	sink(y)
+	y = 0
+	sink(y)
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	got := sinkArgTaint(g, info, taintSpec(false))
+	want := []bool{true, false}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sink calls, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sink %d tainted=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTaintJoinIsMay(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func source() int
+func cond() bool
+func sink(int)
+func f() {
+	x := 0
+	if cond() {
+		x = source()
+	}
+	sink(x)
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	got := sinkArgTaint(g, info, taintSpec(false))
+	if len(got) != 1 || !got[0] {
+		t.Fatalf("x tainted on one branch must be may-tainted at join, got %v", got)
+	}
+}
+
+func TestTaintSurvivesConversion(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func source() int
+func sink(int64)
+func f() {
+	x := source()
+	sink(int64(x))
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	var got []bool
+	tt := NewTaint(g, info, taintSpec(false))
+	tt.Walk(func(n ast.Node, tainted func(ast.Expr) bool) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+			got = append(got, tainted(call.Args[0]))
+		}
+	})
+	if len(got) != 1 || !got[0] {
+		t.Fatalf("taint must survive the int64(x) conversion, got %v", got)
+	}
+}
+
+func TestTaintRangeVars(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func sink(int)
+func f(m map[int]int) {
+	for k, v := range m {
+		sink(k)
+		sink(v)
+	}
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	got := sinkArgTaint(g, info, taintSpec(true))
+	if len(got) != 2 || !got[0] || !got[1] {
+		t.Fatalf("range key/value must be tainted by RangeSource, got %v", got)
+	}
+}
+
+func TestTaintClosureIsOpaque(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package p
+func source() int
+func sink(func() int)
+func f() {
+	g := func() int { return source() }
+	sink(g)
+}
+`)
+	g := NewCFG(funcDecl(t, f, "f").Body)
+	tt := NewTaint(g, info, taintSpec(false))
+	var got []bool
+	tt.Walk(func(n ast.Node, tainted func(ast.Expr) bool) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+			got = append(got, tainted(call.Args[0]))
+		}
+	})
+	if len(got) != 1 || got[0] {
+		t.Fatalf("closure literal must not leak taint into the enclosing flow, got %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the steady-state zero-allocation property of the kernel
+// inner loops (the 83% allocation win from the pooled-world work). A
+// function annotated
+//
+//	//bgplint:hot
+//
+// in its doc comment may not allocate on any CFG path that completes
+// normally: no closure literals, no make/new, no slice or map literals, no
+// &T{} pointer literals, no method-value bindings. Plain struct value
+// literals (the pointer-free queue entry{...} values) stay legal — they
+// never touch the heap. Paths that can only end in panic are exempt —
+// formatting a failure message is not a hot path. append is deliberately
+// allowed: the hot structures grow amortized into reusable buffers (plan
+// steps, the run ring) that Reset keeps warm.
+//
+// Advisory severity: a flagged allocation is a performance regression, not
+// a correctness bug, so it reports without failing the build gate.
+var HotAlloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "forbid closure, make/new, composite-literal, and method-value allocations in functions annotated //bgplint:hot, except on panic-only paths",
+	Severity: SevAdvisory,
+	Applies:  isSimDriven,
+	Run:      runHotAlloc,
+}
+
+// hotMarker is the annotation naming a function whose steady-state paths
+// must not allocate.
+const hotMarker = "bgplint:hot"
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotAnnotated(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotAnnotated reports whether the declaration's doc comment carries the
+// hot marker.
+func isHotAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), hotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	g := NewCFG(fd.Body)
+	reach := g.Reachable()
+	exits := g.ReachesExit()
+	for _, b := range g.Blocks {
+		if !reach[b] || !exits[b] {
+			continue // unreachable, or a panic-only failure path
+		}
+		for _, n := range b.Nodes {
+			scanHotAllocs(pass, fd.Name.Name, n)
+		}
+	}
+}
+
+// litKind names a composite literal's shape for diagnostics.
+func litKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// scanHotAllocs reports allocation sites inside one CFG node. Nested
+// function literals are themselves the allocation; their bodies are not
+// entered.
+func scanHotAllocs(pass *Pass, fn string, n ast.Node) {
+	// Selectors appearing as a call's callee are invocations, not
+	// method-value bindings.
+	callees := map[ast.Expr]bool{}
+	inspectNoFuncLit(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			callees[call.Fun] = true
+		}
+		return true
+	})
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure allocated in //bgplint:hot function %s; bind it once outside the hot path", fn)
+			return false
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "make" || id.Name == "new") {
+					pass.Reportf(x.Pos(), "%s allocates in //bgplint:hot function %s; reuse a buffer kept across Reset", id.Name, fn)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&composite literal heap-allocates in //bgplint:hot function %s; reuse pooled state", fn)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.typeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(x.Pos(), "%s literal allocates in //bgplint:hot function %s; reuse a buffer kept across Reset", litKind(t), fn)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if callees[x] {
+				return true
+			}
+			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(x.Pos(), "method value %s bound in //bgplint:hot function %s; store it in a field once", x.Sel.Name, fn)
+			}
+		}
+		return true
+	})
+}

@@ -13,7 +13,11 @@
 // Diagnostics can be suppressed with an explicit annotation on the offending
 // line or the line directly above it:
 //
-//	//bgplint:allow <analyzer>[,<analyzer>...] [reason]
+//	//bgplint:allow <rule>[,<rule>...] -- <justification>
+//
+// The justification is mandatory and suppressions are themselves audited:
+// unknown rule names, missing justifications, and annotations that no longer
+// suppress anything are reported as allowaudit findings.
 package lint
 
 import (
@@ -24,18 +28,37 @@ import (
 	"sort"
 )
 
+// A Severity classifies how a finding gates the build: SevError findings
+// fail CI, SevAdvisory findings are reported but do not.
+type Severity string
+
+const (
+	SevError    Severity = "error"
+	SevAdvisory Severity = "advisory"
+)
+
 // An Analyzer describes one bgplint check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and allow-comments.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// Severity classifies the analyzer's findings; zero value means SevError.
+	Severity Severity
 	// Applies reports whether the analyzer runs over the package with the
 	// given import path. Analyzers outside their scope are silently skipped.
 	Applies func(pkgPath string) bool
 	// Run inspects one type-checked package and reports findings via
 	// pass.Reportf.
 	Run func(pass *Pass) error
+}
+
+// severity resolves the analyzer's effective severity.
+func (a *Analyzer) severity() Severity {
+	if a.Severity == "" {
+		return SevError
+	}
+	return a.Severity
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -54,6 +77,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -62,6 +86,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // A Diagnostic is one finding, already resolved to a file position.
 type Diagnostic struct {
 	Analyzer string
+	Severity Severity
 	Position token.Position
 	Message  string
 }
@@ -72,7 +97,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full bgplint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimDeterminism, RawGoroutine, MapOrder, AtomicDiscipline, WorldReuse}
+	return []*Analyzer{
+		SimDeterminism, RawGoroutine, MapOrder, AtomicDiscipline, WorldReuse,
+		ProgFrame, VTime, HotAlloc,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -90,10 +118,12 @@ func ByName(name string) *Analyzer {
 // files, and returns the surviving findings sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	var applied []*Analyzer // analyzers that actually ran on this package
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.Path) {
 			continue
 		}
+		applied = append(applied, a)
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -107,7 +137,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
 		}
 	}
-	diags = suppress(pkg, diags)
+	diags = suppress(pkg, diags, applied)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Position.Filename != b.Position.Filename {

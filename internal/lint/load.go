@@ -106,6 +106,19 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// Dirs resolves patterns to the package directories Load would visit, in
+// the same order. The caching driver uses it to hash a directory before
+// deciding whether to load it at all.
+func (l *Loader) Dirs(patterns []string) ([]string, error) {
+	return l.expand(patterns)
+}
+
+// LoadDir loads one package directory (both its base and external-test
+// units), as Load does for each directory a pattern expands to.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	return l.loadDir(dir)
+}
+
 // expand turns patterns into a sorted list of package directories.
 func (l *Loader) expand(patterns []string) ([]string, error) {
 	seen := map[string]bool{}
@@ -202,6 +215,9 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkLoadable(l.fset, f); err != nil {
+			return nil, err
+		}
 		if strings.HasSuffix(f.Name.Name, "_test") {
 			xtest = append(xtest, f)
 			xtestName = f.Name.Name
@@ -232,6 +248,34 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		})
 	}
 	return units, nil
+}
+
+// checkLoadable rejects files the source loader cannot build faithfully.
+// The loader type-checks every .go file it finds in a directory, so a file
+// with a build constraint it cannot honor would silently change the package
+// (or break the check with a baffling redeclaration error), and a cgo file
+// has no C toolchain behind the type-checker. Both fail up front with an
+// error that names the file and the reason instead.
+func checkLoadable(fset *token.FileSet, f *ast.File) error {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // only comments above the package clause can constrain the build
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build") || strings.HasPrefix(text, "// +build") {
+				pos := fset.Position(c.Pos())
+				return fmt.Errorf("lint: %s: build-constrained file (%s): the source loader type-checks every .go file in a directory and cannot apply build tags; exclude the file from the lint tree or drop the constraint", pos.Filename, text)
+			}
+		}
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"C"` {
+			pos := fset.Position(f.Package)
+			return fmt.Errorf("lint: %s: file imports \"C\": cgo packages cannot be type-checked by the source loader; exclude the file from the lint tree", pos.Filename)
+		}
+	}
+	return nil
 }
 
 type checked struct {
@@ -281,6 +325,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if err := checkLoadable(l.fset, f); err != nil {
+			return nil, fmt.Errorf("lint: import %q: %w", path, err)
 		}
 		files = append(files, f)
 	}

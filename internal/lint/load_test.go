@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for loader tests and returns its
+// root directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// The loader includes every .go file it finds, so a file carrying a build
+// constraint it cannot honor must fail with an error naming the file and
+// the reason — not a baffling redeclaration or type error.
+func TestLoaderRejectsBuildConstrainedFile(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.22\n",
+		"a.go":   "package a\n\nfunc A() int { return 1 }\n",
+		"gen.go": "//go:build ignore\n\npackage main\n\nfunc main() {}\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load([]string{"./..."})
+	if err == nil {
+		t.Fatal("loading a build-constrained file succeeded; want a clear error")
+	}
+	for _, want := range []string{"gen.go", "build-constrained", "//go:build ignore"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// Legacy // +build constraints are caught the same way.
+func TestLoaderRejectsLegacyBuildTag(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.22\n",
+		"old.go": "// +build linux\n\npackage a\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load([]string{"./..."})
+	if err == nil || !strings.Contains(err.Error(), "build-constrained") {
+		t.Fatalf("got %v, want a build-constrained error", err)
+	}
+}
+
+// A cgo file cannot be type-checked by the source loader; the error must
+// say so rather than failing on the fake "C" import.
+func TestLoaderRejectsCgoFile(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.22\n",
+		"c.go":   "package a\n\nimport \"C\"\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load([]string{"./..."})
+	if err == nil {
+		t.Fatal("loading a cgo file succeeded; want a clear error")
+	}
+	for _, want := range []string{"c.go", "cgo"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// Build-constrained files in a module-internal dependency fail with the
+// importing chain in the message.
+func TestLoaderRejectsConstrainedDependency(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        "module scratchmod\n\ngo 1.22\n",
+		"app/main.go":   "package app\n\nimport \"scratchmod/dep\"\n\nvar _ = dep.D\n",
+		"dep/dep.go":    "package dep\n\nvar D = 1\n",
+		"dep/native.go": "//go:build cgo\n\npackage dep\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load([]string{"./app"})
+	if err == nil {
+		t.Fatal("loading against a build-constrained dependency succeeded; want a clear error")
+	}
+	for _, want := range []string{"scratchmod/dep", "native.go", "build-constrained"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package coll
+
+import "time"
+
+// The allow-audit fixture is exercised by a direct test (not the // want
+// convention): audit findings land on the annotation's own line, which is a
+// comment and cannot also carry a want comment.
+
+// auditGood is the well-formed case: rule-scoped, justified, and actually
+// suppressing a finding. It must produce no audit output.
+func auditGood() int64 {
+	return time.Now().UnixNano() //bgplint:allow simdeterminism -- fixture: reviewed exception
+}
+
+// auditNoRule names no rule at all.
+func auditNoRule() int {
+	//bgplint:allow
+	return 1
+}
+
+// auditNoReason names a rule but omits the mandatory justification; the
+// suppression still applies, so the only finding is the audit one.
+func auditNoReason() int64 {
+	return time.Now().UnixNano() //bgplint:allow simdeterminism
+}
+
+// auditUnknownRule names a rule that does not exist.
+func auditUnknownRule() int {
+	//bgplint:allow nosuchrule -- rule name is a typo
+	return 1
+}
+
+// auditUnused names a rule that ran but suppresses nothing.
+func auditUnused() int {
+	//bgplint:allow simdeterminism -- stale: the flagged call was removed
+	return 1
+}
+
+// auditNotRun names a real rule the test's pass does not run; its
+// unused-ness is unjudgeable then, so it must produce no finding.
+func auditNotRun() int {
+	//bgplint:allow maporder -- judged only when maporder runs
+	return 1
+}

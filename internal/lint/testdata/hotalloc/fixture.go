@@ -1,0 +1,78 @@
+package coll
+
+// entry is a pointer-free queue element: by-value composites like it never
+// touch the heap and stay legal in hot code.
+type entry struct{ seq, val int64 }
+
+// ring is the reusable hot structure; its buffers survive Reset.
+type ring struct {
+	buf []entry
+	tmp []int64
+	fn  func()
+}
+
+func (r *ring) grow() {}
+
+//bgplint:hot
+func (r *ring) flaggedClosure(v int64) {
+	r.fn = func() { _ = v } // want `closure allocated in //bgplint:hot function flaggedClosure`
+}
+
+//bgplint:hot
+func (r *ring) flaggedMake(n int) {
+	r.tmp = make([]int64, n) // want `make allocates in //bgplint:hot function flaggedMake`
+}
+
+//bgplint:hot
+func flaggedSliceLit() []int64 {
+	return []int64{1, 2, 3} // want `slice literal allocates in //bgplint:hot function flaggedSliceLit`
+}
+
+//bgplint:hot
+func flaggedMapLit() map[int]int64 {
+	return map[int]int64{1: 1} // want `map literal allocates in //bgplint:hot function flaggedMapLit`
+}
+
+//bgplint:hot
+func flaggedPtrLit() *entry {
+	return &entry{seq: 1} // want `&composite literal heap-allocates in //bgplint:hot function flaggedPtrLit`
+}
+
+//bgplint:hot
+func (r *ring) flaggedMethodValue() {
+	r.fn = r.grow // want `method value grow bound in //bgplint:hot function flaggedMethodValue`
+}
+
+// Appending into a buffer kept warm across Reset is amortized-free, the
+// sanctioned growth idiom for hot structures.
+//
+//bgplint:hot
+func (r *ring) cleanPush(e entry) {
+	r.buf = append(r.buf, e)
+}
+
+// A by-value struct literal is stack-only.
+//
+//bgplint:hot
+func cleanValueLit(seq, val int64) entry {
+	return entry{seq: seq, val: val}
+}
+
+// Paths that can only end in panic are exempt: formatting the failure is
+// not a hot path.
+//
+//bgplint:hot
+func (r *ring) cleanPanicPath(i int) entry {
+	if i < 0 || i >= len(r.buf) {
+		msg := make([]byte, 0, 32)
+		_ = msg
+		panic("ring: index out of range")
+	}
+	return r.buf[i]
+}
+
+// bgplint:hot — near miss: a space after // is not the marker, so this
+// function is not annotated and may allocate freely.
+func cleanNotAnnotated(n int) []int64 {
+	return make([]int64, n)
+}

@@ -44,7 +44,7 @@ func cleanFilter(m map[string]int, drop map[string]bool) {
 // cannot see through the method call, the human can.
 func cleanAllowed(m map[string]fmtStringer) int {
 	total := 0
-	//bgplint:allow maporder pure getters, integer sum commutes
+	//bgplint:allow maporder -- pure getters, integer sum commutes
 	for _, v := range m {
 		total += len(v.String())
 	}

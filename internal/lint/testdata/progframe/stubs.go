@@ -1,0 +1,33 @@
+package coll
+
+// Fixture stand-ins for the sim program-mode API: a Counter, a Proc carrying
+// a resumable program frame, and a parking WaitThen operation. They are
+// declared locally so the package type-checks standalone; the analyzer
+// recognizes them because the fixture is loaded under a simulator-driven
+// import path and the shapes match (a *Then op with a trailing func()
+// continuation, a Proc type with program-frame fields).
+
+// Counter is the fixture's completion counter.
+type Counter struct{ v int64 }
+
+// Add bumps the counter.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Proc carries the resumable program frame.
+type Proc struct {
+	cont   func()
+	armed  bool
+	inline bool
+}
+
+// WaitThen parks the program until c changes, then resumes fn.
+func (p *Proc) WaitThen(c *Counter, fn func()) {
+	p.cont = fn
+	p.armed = true
+}
+
+// Inline reports which execution mode the proc runs in.
+func (p *Proc) Inline() bool { return p.inline }
+
+// RegisterProgBcast registers a program-mode transcription.
+func RegisterProgBcast(name string, fn func(*Proc)) { _, _ = name, fn }

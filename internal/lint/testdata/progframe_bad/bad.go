@@ -1,0 +1,38 @@
+package coll
+
+// A scratch chain-allreduce transcription with the CPS contract broken on
+// purpose: the parking operation is followed by loop bookkeeping that would
+// race the armed resume. CI runs bgplint over this package (analyzed as a
+// collective package via -as) and asserts the run FAILS — proving the gate
+// itself still gates. Do not fix this file.
+
+type progCounter struct{ v int64 }
+
+type progProc struct{ cont func() }
+
+// WaitGEThen parks the program until c reaches n, then resumes fn.
+func (p *progProc) WaitGEThen(c *progCounter, n int64, fn func()) {
+	_, _ = c, n
+	p.cont = fn
+}
+
+// chainLink forwards one chunk per parked step, middle-rank style.
+type chainLink struct {
+	p      *progProc
+	stage  *progCounter
+	got    int64
+	chunk  int64
+	n, j   int
+	doneFn func()
+	stepFn func()
+}
+
+func (l *chainLink) step() {
+	if l.j == l.n {
+		l.doneFn()
+		return
+	}
+	l.got += l.chunk
+	l.p.WaitGEThen(l.stage, l.got, l.stepFn)
+	l.j++ // BROKEN: runs concurrently with the armed resume
+}

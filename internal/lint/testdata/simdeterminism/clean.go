@@ -19,5 +19,5 @@ func cleanPerm(r *rand.Rand) []int { return r.Perm(8) }
 
 // A reviewed exception is silenced with an allow annotation.
 func allowedException() int64 {
-	return time.Now().UnixNano() //bgplint:allow simdeterminism demo of the escape hatch
+	return time.Now().UnixNano() //bgplint:allow simdeterminism -- demo of the escape hatch
 }

@@ -1,0 +1,41 @@
+package coll
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Host elapsed time measured for reporting only never reaches virtual time;
+// vtime (unlike simdeterminism) accepts it because the taint dies here.
+func cleanHostMetric(work func()) int64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Nanoseconds()
+}
+
+// An explicitly seeded generator is reproducible, so its draws may feed
+// virtual time.
+func cleanSeededJitter(k *kernel, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	k.At(Time(r.Int63n(8)), nil)
+}
+
+// Map iteration feeding a commutative reduction that never becomes a Time
+// is order-free.
+func cleanMapCount(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Values computed purely from the simulated program are the sanctioned
+// schedule inputs.
+func cleanProgramTime(k *kernel, spans []int) {
+	var total Time
+	for _, s := range spans {
+		total += Time(s)
+	}
+	k.At(total, nil)
+}

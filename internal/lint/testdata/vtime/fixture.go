@@ -1,0 +1,17 @@
+package coll
+
+// Time is the fixture's stand-in for sim.Time; the analyzer keys on the
+// name and the simulator-driven package path, so the sinks below behave
+// exactly like the real scheduling inputs.
+type Time int64
+
+// vCounter mimics sim.Counter: Add decides when waiters wake, so its
+// argument is a scheduling input.
+type vCounter struct{ v int64 }
+
+func (c *vCounter) Add(n int64) { c.v += n }
+
+// kernel mimics the event kernel's schedule-at entry point.
+type kernel struct{ now Time }
+
+func (k *kernel) At(t Time, fn func()) { _, _ = t, fn }

@@ -1,0 +1,36 @@
+package coll
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// The wall clock flowing into virtual time forks the event stream between
+// hosts: the taint survives the UnixNano conversion and the local.
+func flaggedWallClock(k *kernel) {
+	d := Time(time.Now().UnixNano()) // want `a sim.Time conversion`
+	k.now = d                        // want `a virtual-time assignment`
+}
+
+// The global rand source draws from process-wide state; its value must not
+// become a schedule time.
+func flaggedGlobalRand(k *kernel) {
+	j := rand.Int63n(100)
+	k.At(Time(j), nil) // want `a sim.Time conversion` `a virtual-time parameter`
+}
+
+// Host-load queries are nondeterministic inputs too.
+func flaggedRuntimeQuery(c *vCounter) {
+	n := runtime.NumCPU()
+	c.Add(int64(n)) // want `a counter Add`
+}
+
+// Map iteration order taints every value derived from the loop variables.
+func flaggedMapOrder(k *kernel, m map[int]int64) {
+	var last int64
+	for _, v := range m {
+		last = v
+	}
+	k.now = Time(last) // want `a sim.Time conversion` `a virtual-time assignment`
+}

@@ -1,0 +1,14 @@
+package bench
+
+import "runtime"
+
+// parallel.go is the sanctioned host-facing edge under
+// bgpcoll/internal/bench: the sweep runner there legitimately sizes its
+// worker pool from the host, so vtime skips this file entirely — but only
+// under that import path (the path-specificity test reloads this fixture
+// as a collective package and expects both sinks below to fire).
+func poolSize() int {
+	n := runtime.GOMAXPROCS(0)
+	warm(Time(int64(n)))
+	return n
+}

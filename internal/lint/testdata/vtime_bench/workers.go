@@ -1,0 +1,15 @@
+package bench
+
+import "runtime"
+
+// Time stands in for sim.Time, as in the vtime fixture.
+type Time int64
+
+func warm(t Time) { _ = t }
+
+// Sibling files get no exemption: the identical flow parallel.go is allowed
+// is flagged here.
+func flaggedWorkerBudget() {
+	n := runtime.NumCPU()
+	warm(Time(int64(n))) // want `a sim.Time conversion` `a virtual-time parameter`
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// VTime is the flow-aware complement to simdeterminism: instead of banning
+// nondeterministic sources outright, it tracks where their values go. A
+// taint lattice (dataflow.go) marks values derived from the wall clock, the
+// unseeded global math/rand source, runtime scheduling queries, or map
+// iteration variables, and reports when a tainted value reaches a virtual-
+// time scheduling input: a conversion or assignment to a sim-driven Time
+// type, a Time-typed call argument, or a counter Add on a sim-driven type.
+// Event order must be a pure function of the simulated program; one host-
+// dependent nanosecond in a Sleep duration silently forks the (time, seq)
+// stream between runs.
+//
+// Sanctioned files (vtimeSanctioned) are the designated host-facing edge
+// and are skipped entirely.
+var VTime = &Analyzer{
+	Name:     "vtime",
+	Doc:      "forbid wall-clock, unseeded-rand, runtime-query, and map-iteration values from flowing into virtual-time scheduling inputs",
+	Severity: SevError,
+	Applies:  isSimDriven,
+	Run:      runVTime,
+}
+
+// vtimeSanctioned maps package path to the files allowed to read host state:
+// bench/parallel.go sizes its worker pool from runtime.GOMAXPROCS, which
+// never feeds virtual time.
+var vtimeSanctioned = map[string]map[string]bool{
+	"bgpcoll/internal/bench": {"parallel.go": true},
+}
+
+// runtimeQueryFuncs are the runtime package functions whose results depend
+// on host scheduling or load.
+var runtimeQueryFuncs = map[string]bool{
+	"NumCPU":       true,
+	"NumGoroutine": true,
+	"GOMAXPROCS":   true,
+	"ReadMemStats": true,
+	"NumCgoCall":   true,
+}
+
+func runVTime(pass *Pass) error {
+	spec := TaintSpec{
+		Source: func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			var obj types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[fun.Sel]
+			default:
+				return false
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return false
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return false
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				return bannedTimeFuncs[fn.Name()]
+			case "math/rand", "math/rand/v2":
+				return !seededRandConstructors[fn.Name()]
+			case "runtime":
+				return runtimeQueryFuncs[fn.Name()]
+			}
+			return false
+		},
+		RangeSource: func(x ast.Expr) bool {
+			tv, ok := pass.Info.Types[x]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		},
+	}
+
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if vtimeSanctioned[pass.Path][name] {
+			continue
+		}
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+		for _, body := range bodies {
+			g := NewCFG(body)
+			tt := NewTaint(g, pass.Info, spec)
+			tt.Walk(func(n ast.Node, tainted func(ast.Expr) bool) {
+				vtimeSinks(pass, n, tainted)
+			})
+		}
+	}
+	return nil
+}
+
+// vtimeSinks scans one CFG node for tainted values reaching scheduling
+// inputs.
+func vtimeSinks(pass *Pass, n ast.Node, tainted func(ast.Expr) bool) {
+	report := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(),
+			"nondeterministic value (wall clock, global rand, runtime query, or map iteration) reaches %s; virtual time must derive only from the simulated program", what)
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for i, lhs := range as.Lhs {
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if isSimTimeType(pass.typeOf(lhs)) && tainted(rhs) {
+				report(rhs, "a virtual-time assignment")
+			}
+		}
+	}
+	inspectNoFuncLit(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Conversion to a sim Time type.
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			if isSimTimeType(tv.Type) && len(call.Args) == 1 && tainted(call.Args[0]) {
+				report(call.Args[0], "a sim.Time conversion")
+			}
+			return true
+		}
+		sig := callSig(pass, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() {
+				break // variadic tail; scheduling inputs are never variadic
+			}
+			if isSimTimeType(sig.Params().At(i).Type()) && tainted(arg) {
+				report(arg, "a virtual-time parameter")
+			}
+		}
+		// Counter-style Add on a sim-driven receiver: the added quantity
+		// decides when waiters wake, so it is a scheduling input too.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && isSimDriven(fn.Pkg().Path()) {
+				for _, arg := range call.Args {
+					if tainted(arg) {
+						report(arg, "a counter Add")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// typeOf returns the static type of e, or nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isSimTimeType reports whether t is a named type Time declared in a
+// sim-driven package (the real sim.Time, or a fixture's stand-in).
+func isSimTimeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && isSimDriven(obj.Pkg().Path())
+}
+
+// callSig resolves the signature of a (non-conversion) call, or nil.
+func callSig(pass *Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.typeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}

@@ -28,6 +28,10 @@ type Request struct {
 func (q *Request) Wait() {
 	q.owner.proc.Wait(q.ev)
 	if q.onWait != nil {
+		// This hook only exists on the blocking path (Wait has no explicit-
+		// resume form), so the call is deferred completion work, not a
+		// parking continuation; the nil-out after it is deliberate.
+		//bgplint:allow progframe -- blocking-only completion hook; clearing onWait afterwards prevents double-run
 		q.onWait()
 		q.onWait = nil
 	}

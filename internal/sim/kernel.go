@@ -241,6 +241,8 @@ type addAt struct {
 // (time, seq) position the equivalent At callback would. Like At, scheduling
 // in the past panics; like every counter operation, a handle from before a
 // Reset panics at registration.
+//
+//bgplint:hot
 func (k *Kernel) AddAt(t Time, c *Counter, n int64) {
 	c.check()
 	var i uint32
@@ -264,6 +266,8 @@ func (k *Kernel) AddAt(t Time, c *Counter, n int64) {
 
 // runAdd applies a scheduled add, releasing its table slot first (mirroring
 // runCb's discipline).
+//
+//bgplint:hot
 func (k *Kernel) runAdd(i uint32) {
 	a := k.adds[i]
 	k.adds[i] = addAt{}
@@ -273,6 +277,8 @@ func (k *Kernel) runAdd(i uint32) {
 
 // schedProc schedules p's next resume at absolute time t (>= now; timed
 // sleeps clamp negative durations before calling).
+//
+//bgplint:hot
 func (k *Kernel) schedProc(t Time, p *Proc) {
 	if t <= k.now {
 		k.ring.push(entry{kind: eResume, idx: p.self})
@@ -284,6 +290,8 @@ func (k *Kernel) schedProc(t Time, p *Proc) {
 // schedStep schedules the continuation of p's plan (see plan.go) at absolute
 // time t, using the same now-vs-future placement rule as schedProc so the
 // entry lands exactly where the process's own resume would have.
+//
+//bgplint:hot
 func (k *Kernel) schedStep(t Time, p *Proc) {
 	if t <= k.now {
 		k.ring.push(entry{kind: eStep, idx: p.self})
@@ -296,6 +304,8 @@ func (k *Kernel) schedStep(t Time, p *Proc) {
 // waiters the blocked bookkeeping happens here, eagerly, so the queued entry
 // is a bare resume that any token holder may execute; the caller (Event.Fire,
 // Counter.release) always holds the token.
+//
+//bgplint:hot
 func (k *Kernel) wake(w entry) {
 	if w.kind != eFn {
 		p := k.procAt(w.idx)
@@ -312,6 +322,8 @@ func (k *Kernel) wake(w entry) {
 // drained, or the simulation failed). Both the kernel goroutine (Run) and a
 // yielding process (handoff) use this one decision sequence, so who holds
 // the token never changes what executes next.
+//
+//bgplint:hot
 func (k *Kernel) next() *Proc {
 	for k.failure == nil {
 		// Heap entries at the current instant predate (in seq order) every
@@ -451,6 +463,7 @@ type runRing struct {
 
 func (r *runRing) empty() bool { return r.n == 0 }
 
+//bgplint:hot
 func (r *runRing) push(e entry) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -463,6 +476,8 @@ func (r *runRing) push(e entry) {
 // pushBatch appends a slice of entries in order with a single capacity check
 // and at most two copies (wraparound). Event fan-out and multi-waiter counter
 // crossings use it to wake N parties as one batch instead of N pushes.
+//
+//bgplint:hot
 func (r *runRing) pushBatch(es []entry) {
 	for r.n+len(es) > len(r.buf) {
 		r.grow()
@@ -473,6 +488,7 @@ func (r *runRing) pushBatch(es []entry) {
 	r.n += len(es)
 }
 
+//bgplint:hot
 func (r *runRing) pop() entry {
 	e := r.buf[r.head]
 	r.head = (r.head + 1) & (len(r.buf) - 1)
@@ -509,6 +525,7 @@ type eventHeap struct {
 	seq int64
 }
 
+//bgplint:hot
 func (h *eventHeap) push(t Time, ent entry) {
 	h.seq++
 	h.s = append(h.s, scheduled{t: t, seq: h.seq, e: ent})
@@ -528,6 +545,7 @@ func (h *eventHeap) push(t Time, ent entry) {
 	s[i] = e
 }
 
+//bgplint:hot
 func (h *eventHeap) pop() entry {
 	s := h.s
 	top := s[0].e

@@ -48,6 +48,8 @@ const (
 
 // NewPlan clears and returns p's plan buffer. The returned plan may only be
 // attached to waits of p, and only the most recently built plan is valid.
+//
+//bgplint:hot
 func (p *Proc) NewPlan() *Plan {
 	p.plan.p = p
 	p.plan.steps = p.plan.steps[:0]
@@ -56,6 +58,8 @@ func (p *Proc) NewPlan() *Plan {
 }
 
 // Sleep appends a fixed delay, the fused equivalent of Proc.Sleep(d).
+//
+//bgplint:hot
 func (pl *Plan) Sleep(d Time) {
 	if d < 0 {
 		d = 0
@@ -69,18 +73,24 @@ func (pl *Plan) Sleep(d Time) {
 //
 // — the pattern hw uses for core-driven memory operations, where the same
 // bytes occupy both the core and the shared bus.
+//
+//bgplint:hot
 func (pl *Plan) Busy(pipe *Pipe, bytes int, concurrent Time) {
 	pl.steps = append(pl.steps, planStep{kind: stepBusy, pipe: pipe, bytes: bytes, d: concurrent})
 }
 
 // Add appends a counter addition executed at the instant the preceding step
 // completes, the fused equivalent of c.Add(n) between two blocking steps.
+//
+//bgplint:hot
 func (pl *Plan) Add(c *Counter, n int64) {
 	pl.steps = append(pl.steps, planStep{kind: stepAdd, c: c, n: n})
 }
 
 // WaitPlan blocks on ev and then runs pl while p stays parked, returning
 // after the plan's last step. With no plan steps it is exactly Wait.
+//
+//bgplint:hot
 func (p *Proc) WaitPlan(ev *Event, pl *Plan) {
 	if len(pl.steps) == 0 {
 		p.Wait(ev)
@@ -102,6 +112,8 @@ func (p *Proc) WaitPlan(ev *Event, pl *Plan) {
 // WaitGEPlan blocks until c reaches at least v and then runs pl while p
 // stays parked, returning after the plan's last step. With no plan steps it
 // is exactly WaitGE.
+//
+//bgplint:hot
 func (p *Proc) WaitGEPlan(c *Counter, v int64, pl *Plan) {
 	if len(pl.steps) == 0 {
 		p.WaitGE(c, v)
@@ -125,6 +137,8 @@ func (p *Proc) WaitGEPlan(c *Counter, v int64, pl *Plan) {
 // last step, the process's resume itself — at its completion time. It runs as
 // a queue callback under the current token holder; a panicking step fails the
 // simulation like a process panic (the process stays parked).
+//
+//bgplint:hot
 func (p *Proc) advance() {
 	defer p.recoverStep()
 	k := p.k
@@ -163,6 +177,8 @@ func (p *Proc) advance() {
 // runInline executes the plan through the ordinary process primitives — the
 // literal sequence the fused path transcribes. Used when the blocking
 // condition is already satisfied and in noFuse reference mode.
+//
+//bgplint:hot
 func (pl *Plan) runInline(p *Proc) {
 	for i := range pl.steps {
 		s := &pl.steps[i]

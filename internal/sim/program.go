@@ -93,6 +93,8 @@ func (p *Proc) progRecover() {
 
 // runCont is the kernel's dispatch for an eCont entry: disarm, run the
 // pending continuation, and retire the program if it parked nowhere new.
+//
+//bgplint:hot
 func (p *Proc) runCont() {
 	defer p.progRecover()
 	p.armed = false
@@ -106,6 +108,8 @@ func (p *Proc) runCont() {
 
 // runProg is the kernel's dispatch for an eProg entry: disarm, step the
 // program's plan, and retire the program if it parked nowhere new.
+//
+//bgplint:hot
 func (p *Proc) runProg() {
 	defer p.progRecover()
 	p.armed = false
@@ -139,6 +143,8 @@ func (p *Proc) checkIdle() {
 // schedContAt schedules the stored continuation at absolute time t, using
 // the same now-vs-future placement rule as schedProc so the entry lands
 // exactly where the process's own resume would have.
+//
+//bgplint:hot
 func (p *Proc) schedContAt(t Time) {
 	p.armed = true
 	if t <= p.k.now {
@@ -151,6 +157,8 @@ func (p *Proc) schedContAt(t Time) {
 // SleepThen advances the process by d of virtual time and then continues
 // with cont — the explicit-resume form of Proc.Sleep. Like Sleep it always
 // schedules, even for zero durations.
+//
+//bgplint:hot
 func (p *Proc) SleepThen(d Time, cont func()) {
 	if !p.inline {
 		p.Sleep(d)
@@ -168,6 +176,8 @@ func (p *Proc) SleepThen(d Time, cont func()) {
 // SleepUntilThen continues with cont at absolute virtual time t — the
 // explicit-resume form of Proc.SleepUntil, including its already-elapsed
 // fast path (cont runs inline, nothing is scheduled).
+//
+//bgplint:hot
 func (p *Proc) SleepUntilThen(t Time, cont func()) {
 	if !p.inline {
 		p.SleepUntil(t)
@@ -189,6 +199,8 @@ func (p *Proc) SleepUntilThen(t Time, cont func()) {
 // hw core-memory-operation pattern:
 //
 //	done := pipe.Reserve(bytes); p.SleepUntil(max(done, now+concurrent))
+//
+//bgplint:hot
 func (p *Proc) BusyThen(pipe *Pipe, bytes int, concurrent Time, cont func()) {
 	done := pipe.Reserve(bytes)
 	if c := p.k.now + concurrent; c > done {
@@ -211,6 +223,8 @@ func (p *Proc) BusyThen(pipe *Pipe, bytes int, concurrent Time, cont func()) {
 // WaitThen continues with cont once ev fires — the explicit-resume form of
 // Proc.Wait. If ev has already fired cont runs inline, exactly where Wait
 // would have returned without yielding.
+//
+//bgplint:hot
 func (p *Proc) WaitThen(ev *Event, cont func()) {
 	if !p.inline {
 		p.Wait(ev)
@@ -232,6 +246,8 @@ func (p *Proc) WaitThen(ev *Event, cont func()) {
 
 // WaitGEThen continues with cont once c reaches at least v — the
 // explicit-resume form of Proc.WaitGE.
+//
+//bgplint:hot
 func (p *Proc) WaitGEThen(c *Counter, v int64, cont func()) {
 	if !p.inline {
 		p.WaitGE(c, v)
@@ -253,6 +269,8 @@ func (p *Proc) WaitGEThen(c *Counter, v int64, cont func()) {
 
 // WaitPlanThen blocks on ev, runs pl, then continues with cont — the
 // explicit-resume form of Proc.WaitPlan followed by the rest of the body.
+//
+//bgplint:hot
 func (p *Proc) WaitPlanThen(ev *Event, pl *Plan, cont func()) {
 	if !p.inline {
 		p.WaitPlan(ev, pl)
@@ -282,6 +300,8 @@ func (p *Proc) WaitPlanThen(ev *Event, pl *Plan, cont func()) {
 // WaitGEPlanThen blocks until c reaches at least v, runs pl, then continues
 // with cont — the explicit-resume form of Proc.WaitGEPlan followed by the
 // rest of the body.
+//
+//bgplint:hot
 func (p *Proc) WaitGEPlanThen(c *Counter, v int64, pl *Plan, cont func()) {
 	if !p.inline {
 		p.WaitGEPlan(c, v, pl)
@@ -311,6 +331,8 @@ func (p *Proc) WaitGEPlanThen(c *Counter, v int64, pl *Plan, cont func()) {
 // step, the stored body continuation itself — at its completion time, and a
 // plan that exhausts on instant steps runs the continuation right here, at
 // the exact queue position Kernel.fused would have resumed the goroutine.
+//
+//bgplint:hot
 func (p *Proc) stepProg() {
 	k := p.k
 	pl := &p.plan

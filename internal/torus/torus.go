@@ -138,10 +138,11 @@ func maxTime(a, b sim.Time) sim.Time {
 // Stats aggregates all link pipes: count, total bytes carried, and summed
 // busy time. Used by utilization reports.
 func (n *Network) Stats() (links int, bytes int64, busy sim.Time) {
-	//bgplint:allow maporder integer sums of a pure per-link getter commute
+	//bgplint:allow maporder -- integer sums of a pure per-link getter commute
 	for _, l := range n.links {
 		b, bu, _ := l.Stats()
 		bytes += b
+		//bgplint:allow vtime -- report-only utilization sum; commutative and never fed back into scheduling
 		busy += bu
 		links++
 	}
