@@ -48,9 +48,15 @@ type report struct {
 	// Mismatches between baseline and candidate make wall-clock deltas
 	// attributable to the runtime configuration rather than the code, so
 	// benchdiff warns about them (envWarnings).
-	GOGC        int                `json:"gogc"`
-	GOMemLimit  int64              `json:"gomemlimit"`
-	PGO         string             `json:"pgo"`
+	GOGC       int    `json:"gogc"`
+	GOMemLimit int64  `json:"gomemlimit"`
+	PGO        string `json:"pgo"`
+	// Shards/NoShard are the kernel execution vehicle (zero values in
+	// reports from before bgpbench stamped them, which is also the classic
+	// single-shard vehicle). A vehicle mismatch shifts wall-clock without a
+	// code change, so benchdiff warns about it like the GC fields above.
+	Shards      int                `json:"shards"`
+	NoShard     bool               `json:"noshard"`
 	GitCommit   string             `json:"git_commit"`
 	Timestamp   string             `json:"timestamp_utc"`
 	TotalMS     float64            `json:"total_ms"`
@@ -70,6 +76,12 @@ func (r *report) describe() string {
 	}
 	if r.PGO != "" {
 		s += " pgo=" + r.PGO
+	}
+	if r.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d", r.Shards)
+		if r.NoShard {
+			s += " noshard"
+		}
 	}
 	if r.GitCommit != "" {
 		s += " commit=" + r.GitCommit
@@ -208,6 +220,15 @@ func envWarnings(base, cand *report) []string {
 		warns = append(warns, fmt.Sprintf(
 			"PGO differs: baseline built %s, candidate %s; compare same-profile builds",
 			describe(base.PGO), describe(cand.PGO)))
+	}
+	if base.Shards != cand.Shards {
+		warns = append(warns, fmt.Sprintf(
+			"shard count differs: baseline ran with shards=%d, candidate with shards=%d; wall-clock deltas reflect the kernel vehicle, not code",
+			base.Shards, cand.Shards))
+	} else if base.NoShard != cand.NoShard {
+		warns = append(warns, fmt.Sprintf(
+			"epoch vehicle differs: baseline noshard=%t, candidate noshard=%t; wall-clock deltas reflect the kernel vehicle, not code",
+			base.NoShard, cand.NoShard))
 	}
 	return warns
 }

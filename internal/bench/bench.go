@@ -36,6 +36,16 @@ type Options struct {
 	// execute on pooled goroutines instead of as inline programs. Virtual
 	// times are bit-identical either way; only wall-clock differs.
 	Reference bool
+	// Shards splits each collective-network partition into this many kernel
+	// shards whose epochs run in parallel (0 or 1 = classic single-shard
+	// runs). Virtual times are bit-identical either way; only wall-clock
+	// differs. The torus experiments ignore it: their collectives coordinate
+	// through job-wide shared state and are not shard-capable.
+	Shards int
+	// NoShard runs sharded kernels in the sequential-epoch reference vehicle
+	// (same window/mailbox algorithm, no goroutines). Meaningful only with
+	// Shards > 1; exists for overhead attribution and race-free baselines.
+	NoShard bool
 }
 
 func (o Options) iters(def int) int {
@@ -151,30 +161,63 @@ func SizeLabel(n int) string {
 //	for i < ITERS { MPI_Barrier; start = MPI_Wtime; MPI_Bcast; elapsed += ... }
 //	elapsed_time /= ITERS
 func MeasureBcast(cfg hw.Config, algo string, msg, iters int) (sim.Time, error) {
-	return MeasureBcastMode(cfg, algo, msg, iters, false)
+	return MeasureBcastRun(cfg, algo, msg, iters, RunMode{})
 }
 
-// MeasureBcastMode is MeasureBcast with an explicit execution mode: reference
-// puts the kernel in noProgram mode, running the identical rank bodies on
-// pooled goroutines. The measured virtual times are the same in both modes.
-// The world comes from the pool (worldpool.go) and returns to it reset, so a
-// sweep constructs one partition per distinct config rather than per cell.
+// RunMode selects the execution vehicle of one measurement. Every vehicle
+// produces bit-identical virtual times; the fields trade wall-clock for
+// reference simplicity and exist for overhead attribution and determinism
+// cross-checks.
+type RunMode struct {
+	// Reference puts the kernel in noProgram mode: rank bodies run on
+	// pooled goroutines instead of as inline programs.
+	Reference bool
+	// NoShard runs a sharded kernel's epochs sequentially on the calling
+	// goroutine instead of on per-shard workers. Ignored on single-shard
+	// configs.
+	NoShard bool
+}
+
+// MeasureBcastMode is MeasureBcast with an explicit reference toggle, kept
+// for older callers; MeasureBcastRun is the full-mode form.
 func MeasureBcastMode(cfg hw.Config, algo string, msg, iters int, reference bool) (sim.Time, error) {
+	return MeasureBcastRun(cfg, algo, msg, iters, RunMode{Reference: reference})
+}
+
+// MeasureBcastRun is MeasureBcast with an explicit execution vehicle. The
+// world comes from the pool (worldpool.go) and returns to it reset, so a
+// sweep constructs one partition per distinct config rather than per cell;
+// the kernel mode flags are (re)applied on every lease.
+func MeasureBcastRun(cfg hw.Config, algo string, msg, iters int, mode RunMode) (sim.Time, error) {
 	w, err := leaseWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
 	w.Tunables.Bcast = algo
-	w.M.K.SetNoProgram(reference || !mpi.HasProgBcast(algo))
-	var worst sim.Time
+	w.M.K.SetNoProgram(mode.Reference || !mpi.HasProgBcast(algo))
+	w.M.K.SetNoShard(mode.NoShard)
+	worsts := make([]sim.Time, w.M.K.ShardCount())
 	_, err = w.RunProgram(func(r *mpi.Rank) {
-		l := &measureLoop{r: r, buf: r.NewBuf(msg), iters: iters, worst: &worst}
+		l := &measureLoop{r: r, buf: r.NewBuf(msg), iters: iters, worst: &worsts[r.Shard().ID()]}
 		l.afterBarrierFn = l.bcastAfterBarrier
 		l.afterOpFn = l.afterOp
 		l.iter()
 	})
 	releaseWorld(cfg, w, err)
-	return worst, err
+	return maxTime(worsts), err
+}
+
+// maxTime folds per-shard worst-rank slots into the global worst. Each slot
+// is written only under its shard's token during the run; the fold happens
+// after Run returns, when every worker has quiesced.
+func maxTime(ts []sim.Time) sim.Time {
+	var worst sim.Time
+	for _, t := range ts {
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
 }
 
 // measureLoop is the Fig. 5 micro-benchmark loop (barrier; time one
@@ -190,7 +233,7 @@ type measureLoop struct {
 	i          int
 	elapsed    sim.Time
 	start      sim.Time
-	worst      *sim.Time // shared across the world's ranks; the kernel serializes access
+	worst      *sim.Time // this shard's slot, shared across its ranks; the shard token serializes access
 
 	afterBarrierFn func()
 	afterOpFn      func()
@@ -229,28 +272,35 @@ func (l *measureLoop) afterOp() {
 
 // MeasureAllreduce runs the micro-benchmark for one allreduce configuration.
 func MeasureAllreduce(cfg hw.Config, algo string, doubles, iters int) (sim.Time, error) {
-	return MeasureAllreduceMode(cfg, algo, doubles, iters, false)
+	return MeasureAllreduceRun(cfg, algo, doubles, iters, RunMode{})
 }
 
-// MeasureAllreduceMode is MeasureAllreduce with an explicit execution mode
-// (see MeasureBcastMode); the world is pooled the same way.
+// MeasureAllreduceMode is MeasureAllreduce with an explicit reference
+// toggle, kept for older callers; MeasureAllreduceRun is the full-mode form.
 func MeasureAllreduceMode(cfg hw.Config, algo string, doubles, iters int, reference bool) (sim.Time, error) {
+	return MeasureAllreduceRun(cfg, algo, doubles, iters, RunMode{Reference: reference})
+}
+
+// MeasureAllreduceRun is MeasureAllreduce with an explicit execution vehicle
+// (see MeasureBcastRun); the world is pooled the same way.
+func MeasureAllreduceRun(cfg hw.Config, algo string, doubles, iters int, mode RunMode) (sim.Time, error) {
 	w, err := leaseWorld(cfg)
 	if err != nil {
 		return 0, err
 	}
 	w.Tunables.Allreduce = algo
-	w.M.K.SetNoProgram(reference || !mpi.HasProgAllreduce(algo))
+	w.M.K.SetNoProgram(mode.Reference || !mpi.HasProgAllreduce(algo))
+	w.M.K.SetNoShard(mode.NoShard)
 	bytes := doubles * data.Float64Len
-	var worst sim.Time
+	worsts := make([]sim.Time, w.M.K.ShardCount())
 	_, err = w.RunProgram(func(r *mpi.Rank) {
-		l := &measureLoop{r: r, send: r.NewBuf(bytes), recv: r.NewBuf(bytes), iters: iters, worst: &worst}
+		l := &measureLoop{r: r, send: r.NewBuf(bytes), recv: r.NewBuf(bytes), iters: iters, worst: &worsts[r.Shard().ID()]}
 		l.afterBarrierFn = l.allreduceAfterBarrier
 		l.afterOpFn = l.afterOp
 		l.iter()
 	})
 	releaseWorld(cfg, w, err)
-	return worst, err
+	return maxTime(worsts), err
 }
 
 // BandwidthMBs converts a message size and per-operation time to the
@@ -262,7 +312,8 @@ func BandwidthMBs(msg int, t sim.Time) float64 {
 	return float64(msg) / t.Seconds() / 1e6
 }
 
-// treeConfig returns the collective-network experiment partition.
+// treeConfig returns the collective-network experiment partition, sharded
+// per Options (the tree broadcast family is shard-capable).
 func treeConfig(o Options, mode hw.Mode) (hw.Config, error) {
 	racks := o.Racks
 	if racks == 0 {
@@ -273,19 +324,24 @@ func treeConfig(o Options, mode hw.Mode) (hw.Config, error) {
 		return cfg, err
 	}
 	cfg.Mode = mode
+	cfg.Shards = o.Shards
 	return cfg, nil
 }
 
 // torusConfig returns the torus experiment partition: a 512-node midplane by
 // default (steady-state torus bandwidth is scale-insensitive; see DESIGN.md),
-// or full racks when requested.
+// or full racks when requested. Torus collectives coordinate through
+// job-wide shared state and are not shard-capable, so the partition is
+// always single-shard regardless of Options.Shards.
 func torusConfig(o Options, mode hw.Mode) (hw.Config, error) {
 	if o.Racks == 0 {
 		cfg := hw.MidplaneConfig()
 		cfg.Mode = mode
 		return cfg, nil
 	}
-	return treeConfig(o, mode)
+	cfg, err := treeConfig(o, mode)
+	cfg.Shards = 0
+	return cfg, err
 }
 
 // sweep trims a full message-size list for quick runs, always retaining the

@@ -28,7 +28,7 @@ func bcastGrid(o Options, rows []bcastRow, sizes []int, iters int, toValue func(
 	}
 	err := parallelEach(o.Workers, len(rows)*len(sizes), func(i int) error {
 		r, s := i/len(sizes), i%len(sizes)
-		t, err := MeasureBcastMode(rows[r].Cfg, rows[r].Algo, sizes[s], iters, o.Reference)
+		t, err := MeasureBcastRun(rows[r].Cfg, rows[r].Algo, sizes[s], iters, RunMode{Reference: o.Reference, NoShard: o.NoShard})
 		if err != nil {
 			return fmt.Errorf("%s @ %s: %w", rows[r].Label, SizeLabel(sizes[s]), err)
 		}
@@ -179,6 +179,7 @@ func Fig9(o Options) (*Figure, error) {
 		cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = g.torus[0], g.torus[1], g.torus[2]
 		cfg.Mode = hw.Quad
 		cfg.Functional = false
+		cfg.Shards = o.Shards
 		rows[i] = bcastRow{fmt.Sprintf("CollectiveNetwork+Shaddr(%d)", g.ranks), cfg, mpi.BcastTreeShaddr}
 	}
 	var err error
@@ -258,7 +259,7 @@ func Table1(o Options) (*Figure, error) {
 	err = parallelEach(o.Workers, len(rows)*len(doubleCounts), func(i int) error {
 		r, s := i/len(doubleCounts), i%len(doubleCounts)
 		doubles := doubleCounts[s]
-		t, err := MeasureAllreduceMode(cfg, rows[r].algo, doubles, iters, o.Reference)
+		t, err := MeasureAllreduceRun(cfg, rows[r].algo, doubles, iters, RunMode{Reference: o.Reference, NoShard: o.NoShard})
 		if err != nil {
 			return err
 		}

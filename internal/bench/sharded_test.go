@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"testing"
+
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+)
+
+// shardedGolden returns the golden 2x2x2 phantom partition split into the
+// given number of kernel shards.
+func shardedGolden(mode hw.Mode, shards int) hw.Config {
+	cfg := goldenConfig(mode)
+	cfg.Shards = shards
+	return cfg
+}
+
+// TestShardedMeasureMatchesSerial pins the bench harness's half of the
+// sharding contract: a measurement on a sharded partition — parallel or in
+// the sequential noShard vehicle — returns the exact virtual time of the
+// single-shard run, per-shard worst-rank folding included.
+func TestShardedMeasureMatchesSerial(t *testing.T) {
+	DrainWorldPool()
+	defer DrainWorldPool()
+	serialCfg := goldenConfig(hw.Quad)
+	shardCfg := shardedGolden(hw.Quad, 4)
+	for _, algo := range []string{mpi.BcastTreeShaddr, mpi.BcastTreeDMAFIFO, mpi.BcastTreeDMADirect, mpi.BcastTreeShmem} {
+		serial, err := MeasureBcastRun(serialCfg, algo, 64<<10, 2, RunMode{})
+		if err != nil {
+			t.Fatalf("%s serial: %v", algo, err)
+		}
+		parallel, err := MeasureBcastRun(shardCfg, algo, 64<<10, 2, RunMode{})
+		if err != nil {
+			t.Fatalf("%s sharded: %v", algo, err)
+		}
+		if parallel != serial {
+			t.Errorf("%s: sharded time %v != serial %v", algo, parallel, serial)
+		}
+		sequential, err := MeasureBcastRun(shardCfg, algo, 64<<10, 2, RunMode{NoShard: true})
+		if err != nil {
+			t.Fatalf("%s noShard: %v", algo, err)
+		}
+		if sequential != serial {
+			t.Errorf("%s: noShard time %v != serial %v", algo, sequential, serial)
+		}
+	}
+}
+
+// TestShardedWorldsPooledSeparately pins the pool's lease-key behavior:
+// configs differing only in shard count never share a world (hw.Config keys
+// the pool, and Shards is part of it), and a pooled sharded world leases
+// back sharded. The noShard vehicle is kernel state, not config — it reuses
+// the sharded world and must be (re)applied on every lease, which the
+// vehicle-equality test above exercises on a pooled world.
+func TestShardedWorldsPooledSeparately(t *testing.T) {
+	DrainWorldPool()
+	defer DrainWorldPool()
+	serialCfg := goldenConfig(hw.Quad)
+	shardCfg := shardedGolden(hw.Quad, 2)
+	if _, err := MeasureBcastRun(serialCfg, mpi.BcastTreeShaddr, 16<<10, 1, RunMode{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureBcastRun(shardCfg, mpi.BcastTreeShaddr, 16<<10, 1, RunMode{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := PooledWorlds(); n != 2 {
+		t.Fatalf("%d pooled worlds, want 2 (serial and sharded configs must not share)", n)
+	}
+	ws, err := leaseWorld(shardCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Sharded() {
+		t.Error("world leased for the sharded config is not sharded")
+	}
+	wc, err := leaseWorld(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Sharded() {
+		t.Error("world leased for the single-shard config is sharded")
+	}
+	releaseWorld(shardCfg, ws, nil)
+	releaseWorld(serialCfg, wc, nil)
+}
+
+// TestShardedFig7Quick runs the quick Fig. 7 sweep sharded and serial: the
+// whole figure — every series and size — must be value-identical, pooled
+// worlds, parallel workers and all.
+func TestShardedFig7Quick(t *testing.T) {
+	DrainWorldPool()
+	defer DrainWorldPool()
+	base := Options{Racks: 1, Iters: 1, Quick: true}
+	serial, err := Fig7(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 4
+	got, err := Fig7(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range serial.Series {
+		for vi, v := range s.Values {
+			if got.Series[si].Values[vi] != v {
+				t.Errorf("%s @ %s: sharded %v != serial %v",
+					s.Label, SizeLabel(serial.Sizes[vi]), got.Series[si].Values[vi], v)
+			}
+		}
+	}
+}

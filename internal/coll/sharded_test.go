@@ -1,0 +1,187 @@
+package coll
+
+import (
+	"strings"
+	"testing"
+
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// shardedConfig returns a phantom-buffer partition split into the given
+// number of kernel shards (0 = classic single-shard build). Sharded runs
+// support timing-only mode exclusively, so the serial reference uses the
+// same phantom config with sharding off: the virtual times must match bit
+// for bit.
+func shardedConfig(shards int) hw.Config {
+	cfg := testConfig(2, 2, 2, hw.Quad)
+	cfg.Functional = false
+	cfg.Shards = shards
+	return cfg
+}
+
+// runSharded builds a world from cfg (optionally forcing the sequential
+// noShard vehicle), selects the broadcast algorithm up front — tunables are
+// shared state and may not be written from rank bodies once shard windows
+// run in parallel — runs fn on every rank, and returns the elapsed virtual
+// time.
+func runSharded(t *testing.T, cfg hw.Config, algo string, noShard bool, fn func(r *mpi.Rank)) sim.Time {
+	t.Helper()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tunables.Bcast = algo
+	w.M.K.SetNoShard(noShard)
+	elapsed, err := w.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+// vehicles runs the workload serially, sharded-parallel, and sharded-
+// sequential (noShard), and requires all three virtual times to be equal:
+// sharding is a wall-clock optimization and must be invisible in virtual
+// time.
+func vehicles(t *testing.T, shards int, algo string, fn func(r *mpi.Rank)) sim.Time {
+	t.Helper()
+	label := algo
+	if label == "" {
+		label = "auto"
+	}
+	serial := runSharded(t, shardedConfig(0), algo, false, fn)
+	parallel := runSharded(t, shardedConfig(shards), algo, false, fn)
+	sequential := runSharded(t, shardedConfig(shards), algo, true, fn)
+	if parallel != serial {
+		t.Errorf("%s: sharded time %v != serial %v", label, parallel, serial)
+	}
+	if sequential != parallel {
+		t.Errorf("%s: noShard time %v != sharded %v", label, sequential, parallel)
+	}
+	return serial
+}
+
+var shardedTreeAlgos = []string{
+	mpi.BcastTreeShmem,
+	mpi.BcastTreeDMAFIFO,
+	mpi.BcastTreeDMADirect,
+	mpi.BcastTreeShaddr,
+}
+
+// TestShardedTreeBcastMatchesSerial checks every collective-network
+// broadcast algorithm at small, medium, and pipelined-large sizes on a
+// 4-shard partition against the single-shard reference.
+func TestShardedTreeBcastMatchesSerial(t *testing.T) {
+	for _, algo := range shardedTreeAlgos {
+		for _, msg := range []int{64, 8 << 10, 200 << 10} {
+			fn := func(r *mpi.Rank) {
+				r.Bcast(r.NewBuf(msg), 0)
+			}
+			if elapsed := vehicles(t, 4, algo, fn); elapsed == 0 {
+				t.Errorf("%s/%d: zero elapsed time", algo, msg)
+			}
+		}
+	}
+}
+
+// TestShardedBcastNonZeroRoot exercises the root-forwarding path (root is
+// node 2 local rank 1, living on a different shard than node 0).
+func TestShardedBcastNonZeroRoot(t *testing.T) {
+	for _, algo := range shardedTreeAlgos {
+		vehicles(t, 4, algo, func(r *mpi.Rank) {
+			r.Bcast(r.NewBuf(32<<10), 9)
+		})
+	}
+}
+
+// TestShardedSMPBcast covers the SMP-mode helper-process algorithm, whose
+// helper is spawned mid-run on the rank's own shard.
+func TestShardedSMPBcast(t *testing.T) {
+	for _, msg := range []int{64, 128 << 10} {
+		fn := func(r *mpi.Rank) {
+			r.Bcast(r.NewBuf(msg), 0)
+		}
+		cfg := testConfig(2, 2, 2, hw.SMP)
+		cfg.Functional = false
+		serial := runSharded(t, cfg, mpi.BcastTreeSMP, false, fn)
+		cfg.Shards = 4
+		if got := runSharded(t, cfg, mpi.BcastTreeSMP, false, fn); got != serial {
+			t.Errorf("msg %d: sharded SMP time %v != serial %v", msg, got, serial)
+		}
+	}
+}
+
+// TestShardedBarrierMatchesSerial staggers rank arrivals across shards: the
+// hub must release every node exactly one interrupt-network latency after
+// the globally last arrival, as the serial protocol does.
+func TestShardedBarrierMatchesSerial(t *testing.T) {
+	vehicles(t, 4, "barrier", func(r *mpi.Rank) {
+		for iter := 0; iter < 3; iter++ {
+			r.Proc().Sleep(sim.Time(r.Rank()*(137+iter)) * sim.Nanosecond)
+			r.Barrier()
+		}
+	})
+}
+
+// TestShardedMixedWorkload chains automatically-selected broadcasts from
+// shifting roots and sizes with barriers — the cross-shard mailbox order
+// must reproduce the serial schedule across collective boundaries, not just
+// within one.
+func TestShardedMixedWorkload(t *testing.T) {
+	vehicles(t, 4, "", func(r *mpi.Rank) {
+		for iter, msg := range []int{512, 4 << 10, 100 << 10} {
+			r.Bcast(r.NewBuf(msg), (iter*5)%r.Size())
+			r.Barrier()
+		}
+	})
+}
+
+// TestShardedWorldResetReuse leases one sharded world for repeated runs:
+// Reset must restore every shard (clocks, mailboxes, per-shard op registry,
+// hub barrier state) so a reused world reproduces the fresh world's time.
+func TestShardedWorldResetReuse(t *testing.T) {
+	fn := func(r *mpi.Rank) {
+		r.Bcast(r.NewBuf(16<<10), 0)
+		r.Barrier()
+		r.Bcast(r.NewBuf(512), 3)
+	}
+	w, err := mpi.NewWorld(shardedConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tunables.Bcast = mpi.BcastTreeShaddr
+	first, err := w.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rerun := 0; rerun < 3; rerun++ {
+		w.Reset()
+		w.Tunables.Bcast = mpi.BcastTreeShaddr
+		again, err := w.Run(fn)
+		if err != nil {
+			t.Fatalf("rerun %d: %v", rerun, err)
+		}
+		if again != first {
+			t.Fatalf("rerun %d: time %v != first run %v", rerun, again, first)
+		}
+	}
+}
+
+// TestShardedWorldRejectsWorldScopedState pins the guard rail: collectives
+// built on job-wide shared state (the torus and allreduce families) are not
+// shard-capable, and a sharded world fails their runs loudly instead of
+// racing on a shared map.
+func TestShardedWorldRejectsWorldScopedState(t *testing.T) {
+	w, err := mpi.NewWorld(shardedConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Run(func(r *mpi.Rank) {
+		r.WorldShared(r.NextSeq(), "probe", func() any { return struct{}{} })
+	})
+	if err == nil || !strings.Contains(err.Error(), "not shard-capable") {
+		t.Fatalf("want shard-capability error, got %v", err)
+	}
+}

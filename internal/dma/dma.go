@@ -27,15 +27,22 @@ import (
 type Engine struct {
 	node *hw.Node
 	pipe *sim.Pipe
-	k    *sim.Kernel
+	sh   *sim.Shard
 }
 
-// New creates the engine for node n.
+// New creates the engine for node n on the kernel's root shard.
 func New(k *sim.Kernel, n *hw.Node) *Engine {
+	return NewOn(k.RootShard(), n)
+}
+
+// NewOn creates the engine for node n on the given shard, where its pipe,
+// counters, and completion callbacks all live. On a single-shard kernel the
+// root shard makes this identical to New.
+func NewOn(sh *sim.Shard, n *hw.Node) *Engine {
 	return &Engine{
 		node: n,
-		k:    k,
-		pipe: k.NewPipe(fmt.Sprintf("node%d.dma", n.ID), n.P.DMABps, 0),
+		sh:   sh,
+		pipe: sh.NewPipe(fmt.Sprintf("node%d.dma", n.ID), n.P.DMABps, 0),
 	}
 }
 
@@ -77,13 +84,13 @@ func (e *Engine) LocalCopy(start sim.Time, n int) sim.Time {
 // (the paper describes the mirror-image decrement formulation; counting up
 // simplifies thresholds without changing behaviour).
 func (e *Engine) NewCounter(name string) *sim.Counter {
-	return e.k.NewCounter(fmt.Sprintf("node%d.dmacnt.%s", e.node.ID, name))
+	return e.sh.NewCounter(fmt.Sprintf("node%d.dmacnt.%s", e.node.ID, name))
 }
 
 // CompleteInto schedules counter.Add(payload) at time t: the engine's
 // counter update when a chunk completes.
 func (e *Engine) CompleteInto(counter *sim.Counter, t sim.Time, payload int) {
-	e.k.At(t, func() { counter.Add(int64(payload)) })
+	e.sh.AddAt(t, counter, int64(payload))
 }
 
 // Stats exposes the engine pipe's utilization counters.

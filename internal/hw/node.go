@@ -48,13 +48,20 @@ type Node struct {
 	Bus *sim.Pipe
 }
 
-// NewNode creates a node with its memory bus.
+// NewNode creates a node with its memory bus on the kernel's root shard.
 func NewNode(k *sim.Kernel, id int, c geometry.Coord, p Params) *Node {
+	return NewNodeOn(k.RootShard(), id, c, p)
+}
+
+// NewNodeOn creates a node whose memory bus lives on the given shard, so the
+// node's local traffic is simulated entirely within that shard's windows. On
+// a single-shard kernel the root shard makes this identical to NewNode.
+func NewNodeOn(sh *sim.Shard, id int, c geometry.Coord, p Params) *Node {
 	return &Node{
 		ID:    id,
 		Coord: c,
 		P:     p,
-		Bus:   k.NewPipe(fmt.Sprintf("node%d.bus", id), p.BusBps, 0),
+		Bus:   sh.NewPipe(fmt.Sprintf("node%d.bus", id), p.BusBps, 0),
 	}
 }
 

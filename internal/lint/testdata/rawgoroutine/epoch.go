@@ -1,0 +1,23 @@
+package sim
+
+// This file mirrors the second sanctioned launch site internal/sim/epoch.go:
+// the sharded kernel's window workers execute exactly one window per
+// start-channel receive, with the start send happening-before the window and
+// the done receive happening-after it, so the shard's state never crosses
+// goroutines unsynchronized. The exemption is per-file and per-path: the
+// identical code outside bgpcoll/internal/sim is flagged.
+type windowWorker struct {
+	start chan int64
+	done  chan struct{}
+}
+
+func sanctionedWindowWorkerLaunch(run func(bound int64)) *windowWorker {
+	w := &windowWorker{start: make(chan int64), done: make(chan struct{})}
+	go func() {
+		for bound := range w.start {
+			run(bound)
+			w.done <- struct{}{}
+		}
+	}()
+	return w
+}

@@ -17,6 +17,10 @@ func (w *World) Reset() {
 	w.M.Reset()
 	w.Tunables = DefaultTunables()
 	clear(w.ops)
+	for _, m := range w.shardOps {
+		clear(m)
+	}
+	w.hubBarrier.pending = w.hubBarrier.pending[:0]
 	for _, r := range w.ranks {
 		r.proc = nil
 		r.seq = 0

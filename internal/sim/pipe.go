@@ -12,8 +12,10 @@ package sim
 // and the pipe becomes free for the next reservation at start + n/bandwidth:
 // the fixed latency models wire/forwarding delay that does not occupy the
 // channel.
+// A pipe belongs to the shard that created it: reservations read the owning
+// shard's clock, so only that shard's code may reserve on it.
 type Pipe struct {
-	k    *Kernel
+	sh   *Shard
 	name string
 	ppb  float64 // picoseconds per byte
 	lat  Time
@@ -26,17 +28,22 @@ type Pipe struct {
 	transfers  int64
 }
 
+// NewPipe creates a pipe owned by the root shard; see Shard.NewPipe.
+func (k *Kernel) NewPipe(name string, bytesPerSecond float64, latency Time) *Pipe {
+	return k.s0.NewPipe(name, bytesPerSecond, latency)
+}
+
 // NewPipe creates a pipe with the given bandwidth in bytes/second and fixed
 // per-transfer latency. Unlike events and counters, pipes keep their identity
 // across Kernel.Reset (the machine's networks hold them for the partition's
 // lifetime); the kernel registers each pipe so Reset can rewind its
 // reservation state and statistics along with the clock.
-func (k *Kernel) NewPipe(name string, bytesPerSecond float64, latency Time) *Pipe {
+func (sh *Shard) NewPipe(name string, bytesPerSecond float64, latency Time) *Pipe {
 	if bytesPerSecond <= 0 {
 		panic("sim: pipe " + name + " with non-positive bandwidth")
 	}
-	p := &Pipe{k: k, name: name, ppb: float64(Second) / bytesPerSecond, lat: latency}
-	k.pipes = append(k.pipes, p)
+	p := &Pipe{sh: sh, name: name, ppb: float64(Second) / bytesPerSecond, lat: latency}
+	sh.k.pipes = append(sh.k.pipes, p)
 	return p
 }
 
@@ -45,7 +52,7 @@ func (p *Pipe) Name() string { return p.name }
 
 // Reserve occupies the pipe for n bytes starting no earlier than now and
 // returns the completion time (including latency).
-func (p *Pipe) Reserve(n int) Time { return p.ReserveFrom(p.k.now, n) }
+func (p *Pipe) Reserve(n int) Time { return p.ReserveFrom(p.sh.now, n) }
 
 // ReserveFrom occupies the pipe for n bytes starting no earlier than t
 // (clamped to now) and returns the completion time. It is used to chain
@@ -63,7 +70,7 @@ func (p *Pipe) ReserveAt(t Time, n int) (start, done Time) {
 	if n < 0 {
 		panic("sim: pipe " + p.name + " negative transfer")
 	}
-	start = maxTime(maxTime(t, p.k.now), p.free)
+	start = maxTime(maxTime(t, p.sh.now), p.free)
 	cost := Time(float64(n) * p.ppb)
 	p.free = start + cost
 	p.totalBytes += int64(n)
@@ -73,7 +80,7 @@ func (p *Pipe) ReserveAt(t Time, n int) (start, done Time) {
 }
 
 // NextFree returns the earliest time a new reservation could start.
-func (p *Pipe) NextFree() Time { return maxTime(p.free, p.k.now) }
+func (p *Pipe) NextFree() Time { return maxTime(p.free, p.sh.now) }
 
 // Latency returns the pipe's fixed per-transfer latency.
 func (p *Pipe) Latency() Time { return p.lat }

@@ -103,8 +103,9 @@ func (p *Proc) WaitPlan(ev *Event, pl *Plan) {
 	}
 	p.check()
 	ev.check()
+	p.checkOwner(ev.sh)
 	p.waitEv = ev
-	p.k.blocked++
+	p.sh.blocked++
 	ev.waiters = append(ev.waiters, entry{kind: eStep, idx: p.self})
 	p.yield()
 }
@@ -126,8 +127,9 @@ func (p *Proc) WaitGEPlan(c *Counter, v int64, pl *Plan) {
 	}
 	p.check()
 	c.check()
+	p.checkOwner(c.sh)
 	p.waitC, p.waitGE = c, v
-	p.k.blocked++
+	p.sh.blocked++
 	c.wait(v, entry{kind: eStep, idx: p.self})
 	p.yield()
 }
@@ -141,7 +143,7 @@ func (p *Proc) WaitGEPlan(c *Counter, v int64, pl *Plan) {
 //bgplint:hot
 func (p *Proc) advance() {
 	defer p.recoverStep()
-	k := p.k
+	sh := p.sh
 	pl := &p.plan
 	for pl.i < len(pl.steps) {
 		s := &pl.steps[pl.i]
@@ -149,13 +151,13 @@ func (p *Proc) advance() {
 		var done Time
 		switch s.kind {
 		case stepSleep:
-			done = k.now + s.d
+			done = sh.now + s.d
 		case stepBusy:
 			done = s.pipe.Reserve(s.bytes)
-			if c := k.now + s.d; c > done {
+			if c := sh.now + s.d; c > done {
 				done = c
 			}
-			if done <= k.now {
+			if done <= sh.now {
 				continue // mirrors the unfused SleepUntil fast path
 			}
 		case stepAdd:
@@ -163,15 +165,15 @@ func (p *Proc) advance() {
 			continue
 		}
 		if pl.i == len(pl.steps) {
-			k.schedProc(done, p)
+			sh.schedProc(done, p)
 		} else {
-			k.schedStep(done, p)
+			sh.schedStep(done, p)
 		}
 		return
 	}
 	// Exhausted on instant steps: the process must continue at exactly this
 	// queue position, before any other pending entry.
-	k.fused = p
+	sh.fused = p
 }
 
 // runInline executes the plan through the ordinary process primitives — the
@@ -187,7 +189,7 @@ func (pl *Plan) runInline(p *Proc) {
 			p.Sleep(s.d)
 		case stepBusy:
 			done := s.pipe.Reserve(s.bytes)
-			if c := p.k.now + s.d; c > done {
+			if c := p.sh.now + s.d; c > done {
 				done = c
 			}
 			p.SleepUntil(done)
@@ -200,6 +202,6 @@ func (pl *Plan) runInline(p *Proc) {
 
 func (p *Proc) recoverStep() {
 	if r := recover(); r != nil {
-		p.k.fail(procPanicError(p.name, r))
+		p.sh.fail(procPanicError(p.name, r))
 	}
 }

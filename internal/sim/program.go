@@ -57,16 +57,22 @@ package sim
 // mode the identical body runs on an ordinary goroutine process, with each
 // operation falling back to its blocking primitive.
 func (k *Kernel) SpawnProgram(name string, fn func(p *Proc)) *Proc {
-	if k.noProgram {
-		return k.Spawn(name, fn)
+	return k.s0.SpawnProgram(name, fn)
+}
+
+// SpawnProgram creates a program-mode process on this shard; see
+// Kernel.SpawnProgram.
+func (sh *Shard) SpawnProgram(name string, fn func(p *Proc)) *Proc {
+	if sh.k.noProgram {
+		return sh.Spawn(name, fn)
 	}
-	p := k.carveProc(name)
+	p := sh.carveProc(name)
 	p.inline = true
-	p.idx = len(k.procs)
-	k.procs = append(k.procs, p.self)
+	p.idx = len(sh.procs)
+	sh.procs = append(sh.procs, p.self)
 	p.cont = func() { fn(p) }
 	p.armed = true
-	k.ring.push(entry{kind: eCont, idx: p.self})
+	sh.ring.push(entry{kind: eCont, idx: p.self})
 	return p
 }
 
@@ -87,7 +93,7 @@ func (p *Proc) Inline() bool { return p.inline }
 // failure a goroutine process body panic produces.
 func (p *Proc) progRecover() {
 	if r := recover(); r != nil {
-		p.k.fail(procPanicError(p.name, r))
+		p.sh.fail(procPanicError(p.name, r))
 	}
 }
 
@@ -122,12 +128,12 @@ func (p *Proc) runProg() {
 // finishProgram drops a completed program from the deadlock-report set, the
 // inline analog of the removal in Proc.exec.
 func (p *Proc) finishProgram() {
-	k := p.k
-	last := len(k.procs) - 1
-	moved := k.procs[last]
-	k.procs[p.idx] = moved
-	k.procAt(moved).idx = p.idx
-	k.procs = k.procs[:last]
+	sh := p.sh
+	last := len(sh.procs) - 1
+	moved := sh.procs[last]
+	sh.procs[p.idx] = moved
+	sh.procAt(moved).idx = p.idx
+	sh.procs = sh.procs[:last]
 }
 
 // checkIdle guards the tail-call contract: arming a second resume while one
@@ -147,11 +153,11 @@ func (p *Proc) checkIdle() {
 //bgplint:hot
 func (p *Proc) schedContAt(t Time) {
 	p.armed = true
-	if t <= p.k.now {
-		p.k.ring.push(entry{kind: eCont, idx: p.self})
+	if t <= p.sh.now {
+		p.sh.ring.push(entry{kind: eCont, idx: p.self})
 		return
 	}
-	p.k.queue.push(t, entry{kind: eCont, idx: p.self})
+	p.sh.queue.push(t, entry{kind: eCont, idx: p.self})
 }
 
 // SleepThen advances the process by d of virtual time and then continues
@@ -170,7 +176,7 @@ func (p *Proc) SleepThen(d Time, cont func()) {
 		d = 0
 	}
 	p.cont = cont
-	p.schedContAt(p.k.now + d)
+	p.schedContAt(p.sh.now + d)
 }
 
 // SleepUntilThen continues with cont at absolute virtual time t — the
@@ -185,7 +191,7 @@ func (p *Proc) SleepUntilThen(t Time, cont func()) {
 		return
 	}
 	p.checkIdle()
-	if t <= p.k.now {
+	if t <= p.sh.now {
 		cont()
 		return
 	}
@@ -203,7 +209,7 @@ func (p *Proc) SleepUntilThen(t Time, cont func()) {
 //bgplint:hot
 func (p *Proc) BusyThen(pipe *Pipe, bytes int, concurrent Time, cont func()) {
 	done := pipe.Reserve(bytes)
-	if c := p.k.now + concurrent; c > done {
+	if c := p.sh.now + concurrent; c > done {
 		done = c
 	}
 	if !p.inline {
@@ -212,7 +218,7 @@ func (p *Proc) BusyThen(pipe *Pipe, bytes int, concurrent Time, cont func()) {
 		return
 	}
 	p.checkIdle()
-	if done <= p.k.now {
+	if done <= p.sh.now {
 		cont()
 		return
 	}
@@ -233,12 +239,13 @@ func (p *Proc) WaitThen(ev *Event, cont func()) {
 	}
 	p.checkIdle()
 	ev.check()
+	p.checkOwner(ev.sh)
 	if ev.fired {
 		cont()
 		return
 	}
 	p.waitEv = ev
-	p.k.blocked++
+	p.sh.blocked++
 	p.cont = cont
 	p.armed = true
 	ev.waiters = append(ev.waiters, entry{kind: eCont, idx: p.self})
@@ -256,12 +263,13 @@ func (p *Proc) WaitGEThen(c *Counter, v int64, cont func()) {
 	}
 	p.checkIdle()
 	c.check()
+	p.checkOwner(c.sh)
 	if c.v >= v {
 		cont()
 		return
 	}
 	p.waitC, p.waitGE = c, v
-	p.k.blocked++
+	p.sh.blocked++
 	p.cont = cont
 	p.armed = true
 	c.wait(v, entry{kind: eCont, idx: p.self})
@@ -283,6 +291,7 @@ func (p *Proc) WaitPlanThen(ev *Event, pl *Plan, cont func()) {
 	}
 	p.checkIdle()
 	ev.check()
+	p.checkOwner(ev.sh)
 	if ev.fired {
 		// Wait would have returned without yielding; the plan steps from
 		// here, scheduling exactly where the unfused slice would have.
@@ -291,7 +300,7 @@ func (p *Proc) WaitPlanThen(ev *Event, pl *Plan, cont func()) {
 		return
 	}
 	p.waitEv = ev
-	p.k.blocked++
+	p.sh.blocked++
 	p.cont = cont
 	p.armed = true
 	ev.waiters = append(ev.waiters, entry{kind: eProg, idx: p.self})
@@ -314,13 +323,14 @@ func (p *Proc) WaitGEPlanThen(c *Counter, v int64, pl *Plan, cont func()) {
 	}
 	p.checkIdle()
 	c.check()
+	p.checkOwner(c.sh)
 	if c.v >= v {
 		p.cont = cont
 		p.stepProg()
 		return
 	}
 	p.waitC, p.waitGE = c, v
-	p.k.blocked++
+	p.sh.blocked++
 	p.cont = cont
 	p.armed = true
 	c.wait(v, entry{kind: eProg, idx: p.self})
@@ -334,7 +344,7 @@ func (p *Proc) WaitGEPlanThen(c *Counter, v int64, pl *Plan, cont func()) {
 //
 //bgplint:hot
 func (p *Proc) stepProg() {
-	k := p.k
+	sh := p.sh
 	pl := &p.plan
 	for pl.i < len(pl.steps) {
 		s := &pl.steps[pl.i]
@@ -342,13 +352,13 @@ func (p *Proc) stepProg() {
 		var done Time
 		switch s.kind {
 		case stepSleep:
-			done = k.now + s.d
+			done = sh.now + s.d
 		case stepBusy:
 			done = s.pipe.Reserve(s.bytes)
-			if c := k.now + s.d; c > done {
+			if c := sh.now + s.d; c > done {
 				done = c
 			}
-			if done <= k.now {
+			if done <= sh.now {
 				continue // mirrors the unfused SleepUntil fast path
 			}
 		case stepAdd:
@@ -359,10 +369,10 @@ func (p *Proc) stepProg() {
 			p.schedContAt(done)
 		} else {
 			p.armed = true
-			if done <= k.now {
-				k.ring.push(entry{kind: eProg, idx: p.self})
+			if done <= sh.now {
+				sh.ring.push(entry{kind: eProg, idx: p.self})
 			} else {
-				k.queue.push(done, entry{kind: eProg, idx: p.self})
+				sh.queue.push(done, entry{kind: eProg, idx: p.self})
 			}
 		}
 		return
