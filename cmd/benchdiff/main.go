@@ -35,7 +35,17 @@ type reportExperiment struct {
 	WallMS     float64 `json:"wall_ms"`
 	AllocBytes uint64  `json:"alloc_bytes"`
 	Allocs     uint64  `json:"allocs"`
+	// PeakHeap is the sampled peak HeapInuse during the experiment (zero in
+	// reports from before bgpbench sampled it). Growth beyond
+	// peakHeapWarnFrac warns — a capacity regression candidate — but never
+	// gates: the sampler is best-effort and allocator-noise sensitive, so a
+	// hard gate would flake.
+	PeakHeap uint64 `json:"peak_heap_inuse_bytes"`
 }
+
+// peakHeapWarnFrac is the peak-heap growth fraction beyond which benchdiff
+// warns.
+const peakHeapWarnFrac = 0.10
 
 // report mirrors the subset of the bgpbench -benchjson schema benchdiff
 // needs; unknown fields are ignored so older reports still load.
@@ -161,6 +171,13 @@ func diff(base, cand *report, g gate) (rows []diffRow, warnings []string, regres
 				if g.Allocs > 0 {
 					row.AllocBad = float64(c.AllocBytes) > float64(e.AllocBytes)*(1+g.Allocs)
 				}
+			}
+			if e.PeakHeap > 0 && c.PeakHeap > 0 &&
+				float64(c.PeakHeap) > float64(e.PeakHeap)*(1+peakHeapWarnFrac) {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: peak heap grew %s -> %s (%+.1f%%, > +%.0f%%); capacity regression candidate",
+					e.ID, mb(e.PeakHeap), mb(c.PeakHeap),
+					(float64(c.PeakHeap)/float64(e.PeakHeap)-1)*100, peakHeapWarnFrac*100))
 			}
 		} else {
 			row.Missing = true

@@ -230,3 +230,39 @@ func TestDiffRowShape(t *testing.T) {
 		t.Fatalf("new row wrong: %+v", rows[2])
 	}
 }
+
+// withPeakHeap sets peak_heap_inuse_bytes on the report's experiments in
+// order.
+func withPeakHeap(r *report, bytes ...uint64) *report {
+	for i, b := range bytes {
+		r.Experiments[i].PeakHeap = b
+	}
+	return r
+}
+
+func TestPeakHeapWarning(t *testing.T) {
+	base := withPeakHeap(mkReport("fig7", 1000.0, "figs", 1000.0), 1<<30, 1<<30)
+	grown := withPeakHeap(mkReport("fig7", 1000.0, "figs", 1000.0), 1<<30, 2<<30)
+
+	// Peak-heap growth warns but never gates.
+	_, warnings, regressed := diff(base, grown, gate{Threshold: 0.10, Allocs: 0.10})
+	if regressed {
+		t.Fatal("peak-heap growth must not gate")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "figs") ||
+		!strings.Contains(warnings[0], "peak heap grew") {
+		t.Fatalf("got warnings %v, want one figs peak-heap warning", warnings)
+	}
+
+	// Growth within the 10% allowance stays quiet.
+	small := withPeakHeap(mkReport("fig7", 1000.0, "figs", 1000.0), 1<<30, 1<<30+1<<25) // +3.1%
+	if _, warnings, _ := diff(base, small, gate{Threshold: 0.10}); len(warnings) != 0 {
+		t.Fatalf("3%% peak-heap growth warned: %v", warnings)
+	}
+
+	// Reports without the field (old schema) never warn.
+	old := mkReport("fig7", 1000.0, "figs", 1000.0)
+	if _, warnings, _ := diff(old, grown, gate{Threshold: 0.10}); len(warnings) != 0 {
+		t.Fatalf("peak-heap warning must require both sides: %v", warnings)
+	}
+}

@@ -78,6 +78,59 @@ type experimentTimes struct {
 	Allocs       uint64  `json:"allocs"`
 	GCCycles     uint32  `json:"gc_cycles"`
 	HeapSysBytes uint64  `json:"heap_sys_bytes"`
+	// PeakHeapInuseBytes is the highest HeapInuse the sampler observed while
+	// the experiment ran. Unlike HeapSys it falls back down with live data,
+	// so it attributes footprint to the experiment that caused it — the
+	// number a capacity regression moves first.
+	PeakHeapInuseBytes uint64 `json:"peak_heap_inuse_bytes"`
+}
+
+// heapSampler polls HeapInuse on a ticker while one experiment runs. The
+// sampling is best-effort — a spike between polls is missed — but at 10 ms
+// resolution the construction and measurement plateaus that matter dwarf the
+// interval. (This is a cmd package: goroutines here never run concurrently
+// with a simulation they share state with; the kernel runs inside
+// exp.Run on the main goroutine and the sampler only reads runtime stats.)
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > s.peak {
+					s.peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// Peak stops the sampler, folds in a final reading (so short experiments
+// that finish between ticks still report their end-state heap), and returns
+// the high water.
+func (s *heapSampler) Peak() uint64 {
+	close(s.stop)
+	<-s.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapInuse > s.peak {
+		s.peak = ms.HeapInuse
+	}
+	return s.peak
 }
 
 // pgoProfile reports the PGO profile path the binary was built with, from
@@ -111,7 +164,7 @@ func gitCommit() string {
 }
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated experiments: fig6,fig7,fig8,fig9,fig10,table1, ablation.colors, ablation.chunk, ablation.fifo, \"ablations\", or all")
+	exps := flag.String("exp", "all", "comma-separated experiments: fig6,fig7,fig8,fig9,fig10,table1,figs (rack-scale capacity), ablation.colors, ablation.chunk, ablation.fifo, \"ablations\", or all")
 	racks := flag.Int("racks", 0, "racks for partition size (0 = per-experiment default; torus experiments default to a 512-node midplane)")
 	iters := flag.Int("iters", 0, "micro-benchmark iterations (0 = per-experiment default)")
 	quick := flag.Bool("quick", false, "trim message-size sweeps")
@@ -196,6 +249,7 @@ func main() {
 		runtime.GC()
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
+		sampler := startHeapSampler()
 		start := time.Now()
 		fig, err := exp.Run(opts)
 		if err != nil {
@@ -203,17 +257,19 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		peakHeap := sampler.Peak()
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
 		report.Experiments = append(report.Experiments, experimentTimes{
-			ID:           exp.ID,
-			Ranks:        fig.Ranks,
-			Iters:        fig.Iters,
-			WallMS:       float64(wall.Microseconds()) / 1e3,
-			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
-			Allocs:       after.Mallocs - before.Mallocs,
-			GCCycles:     after.NumGC - before.NumGC,
-			HeapSysBytes: after.HeapSys,
+			ID:                 exp.ID,
+			Ranks:              fig.Ranks,
+			Iters:              fig.Iters,
+			WallMS:             float64(wall.Microseconds()) / 1e3,
+			AllocBytes:         after.TotalAlloc - before.TotalAlloc,
+			Allocs:             after.Mallocs - before.Mallocs,
+			GCCycles:           after.NumGC - before.NumGC,
+			HeapSysBytes:       after.HeapSys,
+			PeakHeapInuseBytes: peakHeap,
 		})
 		if *csv {
 			fig.CSV(os.Stdout)

@@ -165,6 +165,15 @@ func TreeBcastShaddr(cfg hw.Config, msg int) Bound {
 	})
 }
 
+// TreeBarrier bounds MPI_Barrier: the global interrupt network releases all
+// nodes one BarrierLatency after the last arrival, independent of scale —
+// the asymptote the figS capacity sweep validates out to 10^6 ranks. In the
+// simulator's steady state (every rank arriving at the same instant), the
+// bound is exact.
+func TreeBarrier(cfg hw.Config) Bound {
+	return Bound{T: cfg.Params.BarrierLatency, Bottleneck: "interrupt network"}
+}
+
 // AllreduceNew bounds the proposed allreduce: per color, the partition
 // streams up the reversed links and down the forward links (overlapped);
 // each reducing core performs a fused multi-operand pass (2 accumulate

@@ -258,6 +258,12 @@ func (l *measureLoop) bcastAfterBarrier() {
 }
 
 //bgplint:hot
+func (l *measureLoop) barrierAfterBarrier() {
+	l.start = l.r.Now()
+	l.r.BarrierThen(l.afterOpFn)
+}
+
+//bgplint:hot
 func (l *measureLoop) allreduceAfterBarrier() {
 	l.start = l.r.Now()
 	l.r.AllreduceSumThen(l.send, l.recv, l.afterOpFn)

@@ -129,7 +129,7 @@ func TestOptionsDefaults(t *testing.T) {
 
 // TestExperimentsRegistry ensures the experiment list stays paper-complete.
 func TestExperimentsRegistry(t *testing.T) {
-	want := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1"}
+	want := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "figs"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(exps), len(want))

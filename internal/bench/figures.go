@@ -287,5 +287,6 @@ func Experiments() []namedExperiment {
 		{"fig9", Fig9},
 		{"fig10", Fig10},
 		{"table1", Table1},
+		{"figs", FigScale},
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build. The
+// capacity tests skip under it: instrumentation multiplies their footprint
+// and wall time without adding coverage the small-geometry pool and
+// equivalence tests (which do run under -race) lack.
+const raceEnabled = false

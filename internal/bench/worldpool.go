@@ -36,10 +36,21 @@ import (
 var worldPool struct {
 	mu   sync.Mutex
 	free map[hw.Config][]*mpi.World
+
+	// order records each config's first insertion into free, so the
+	// cross-config growth path below scans candidates in a deterministic,
+	// map-iteration-free order (the bgplint maporder rule would rightly
+	// reject ranging over free here).
+	order []hw.Config
 }
 
 // leaseWorld returns a pooled world for cfg, or constructs one when the pool
 // has none. The caller owns the world until releaseWorld.
+//
+// A miss prefers growing over building: single-shard worlds parked under a
+// *different* config are reconfigured in place (mpi.World.Reconfigure),
+// reusing the kernel's accumulated slabs and the node/rank backing arrays.
+// Sharded worlds cannot change shape and are left for their exact config.
 func leaseWorld(cfg hw.Config) (*mpi.World, error) {
 	worldPool.mu.Lock()
 	if ws := worldPool.free[cfg]; len(ws) > 0 {
@@ -49,7 +60,29 @@ func leaseWorld(cfg hw.Config) (*mpi.World, error) {
 		worldPool.mu.Unlock()
 		return w, nil
 	}
+	var donor *mpi.World
+	if cfg.Shards <= 1 {
+		for _, c := range worldPool.order {
+			if c.Shards > 1 {
+				continue
+			}
+			if ws := worldPool.free[c]; len(ws) > 0 {
+				donor = ws[len(ws)-1]
+				ws[len(ws)-1] = nil
+				worldPool.free[c] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
 	worldPool.mu.Unlock()
+	if donor != nil {
+		if err := donor.Reconfigure(cfg); err == nil {
+			return donor, nil
+		}
+		// A donor that cannot take this shape (or a config that fails
+		// validation) is dropped; fall through to plain construction, which
+		// reports any real config error.
+	}
 	return mpi.NewWorld(cfg)
 }
 
@@ -66,6 +99,9 @@ func releaseWorld(cfg hw.Config, w *mpi.World, runErr error) {
 	if worldPool.free == nil {
 		worldPool.free = make(map[hw.Config][]*mpi.World)
 	}
+	if _, seen := worldPool.free[cfg]; !seen {
+		worldPool.order = append(worldPool.order, cfg)
+	}
 	worldPool.free[cfg] = append(worldPool.free[cfg], w)
 	worldPool.mu.Unlock()
 }
@@ -77,6 +113,7 @@ func releaseWorld(cfg hw.Config, w *mpi.World, runErr error) {
 func DrainWorldPool() {
 	worldPool.mu.Lock()
 	worldPool.free = nil
+	worldPool.order = nil
 	worldPool.mu.Unlock()
 }
 
@@ -91,3 +128,9 @@ func PooledWorlds() int {
 	}
 	return n
 }
+
+// resetBetweenRuns re-arms a world figS owns privately between its paired
+// measurement runs (broadcast, then barrier). The capacity sweep bypasses
+// the pool — construction cost is part of its measurement — so its resets
+// forward through this sanctioned site instead of a lease/release cycle.
+func resetBetweenRuns(w *mpi.World) { w.Reset() }

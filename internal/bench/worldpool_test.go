@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"bgpcoll/internal/geometry"
 	"bgpcoll/internal/hw"
 	"bgpcoll/internal/mpi"
 	"bgpcoll/internal/sim"
@@ -179,6 +180,76 @@ func TestWorldPoolParallelSweep(t *testing.T) {
 	// The pool never holds more worlds per config than workers that ran one.
 	if n := PooledWorlds(); n == 0 || n > 4*len(cells) {
 		t.Fatalf("%d pooled worlds after parallel sweep", n)
+	}
+	DrainWorldPool()
+}
+
+// TestPoolCrossConfigLeasing interleaves measurements over distinct
+// single-shard configurations through the shared pool on the sweep runner's
+// workers. Every lease resolves one of three ways — an exact hit, a donor of
+// a different configuration grown in place with Reconfigure, or a fresh
+// construction — and all three must measure bit-identically to a world built
+// on a pristine pool. Under -race this also exercises the pool lock around
+// donor removal and the unlocked Reconfigure that follows it.
+func TestPoolCrossConfigLeasing(t *testing.T) {
+	big := goldenConfig(hw.Quad)
+	big.Torus = geometry.Torus{DX: 2, DY: 2, DZ: 4}
+	cells := []struct {
+		name string
+		run  func() (sim.Time, error)
+	}{
+		{"quad 2x2x2", func() (sim.Time, error) {
+			return MeasureBcast(goldenConfig(hw.Quad), mpi.BcastTreeShaddr, 8<<10, 2)
+		}},
+		{"smp 2x2x2", func() (sim.Time, error) {
+			return MeasureBcast(goldenConfig(hw.SMP), mpi.BcastTreeSMP, 8<<10, 2)
+		}},
+		{"quad 2x2x4", func() (sim.Time, error) {
+			return MeasureBcast(big, mpi.BcastTreeShaddr, 8<<10, 2)
+		}},
+	}
+
+	base := make([]sim.Time, len(cells))
+	for i, c := range cells {
+		DrainWorldPool()
+		v, err := c.run()
+		if err != nil {
+			t.Fatalf("%s baseline: %v", c.name, err)
+		}
+		base[i] = v
+	}
+
+	// Sequential interleave starting from a pool seeded with a mismatched
+	// config: every lease after the first must grow a donor or hit exactly.
+	DrainWorldPool()
+	for round := 0; round < 3; round++ {
+		for i, c := range cells {
+			v, err := c.run()
+			if err != nil {
+				t.Fatalf("%s round %d: %v", c.name, round, err)
+			}
+			if v != base[i] {
+				t.Errorf("%s round %d: got %v, pristine-pool baseline %v", c.name, round, v, base[i])
+			}
+		}
+	}
+
+	// Concurrent interleave: mixed configs in flight at once.
+	DrainWorldPool()
+	const jobs = 12
+	got := make([]sim.Time, jobs)
+	err := parallelEach(4, jobs, func(i int) error {
+		v, err := cells[i%len(cells)].run()
+		got[i] = v
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != base[i%len(cells)] {
+			t.Errorf("%s (parallel job %d): got %v, baseline %v", cells[i%len(cells)].name, i, v, base[i%len(cells)])
+		}
 	}
 	DrainWorldPool()
 }

@@ -50,7 +50,19 @@ type regionKey struct {
 // NewProcess creates process-window state for the process with the given
 // local rank on node n.
 func NewProcess(n *hw.Node, localRank int) *Process {
-	return &Process{node: n, localRank: localRank}
+	w := &Process{}
+	Init(w, n, localRank)
+	return w
+}
+
+// Init initializes caller-allocated process-window state in place: the hot
+// rank-construction path (mpi.Rank embeds a Process by value). It allocates
+// nothing — the TLB-slot list stays nil until the first mapping — and fully
+// overwrites w, so reused rank slabs need no separate Reset.
+//
+//bgplint:hot
+func Init(w *Process, n *hw.Node, localRank int) {
+	*w = Process{node: n, localRank: localRank}
 }
 
 // Map establishes (or refreshes) the process windows needed for this process

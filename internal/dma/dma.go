@@ -23,11 +23,13 @@ import (
 	"bgpcoll/internal/sim"
 )
 
-// Engine is one node's DMA engine.
+// Engine is one node's DMA engine. The pipe is embedded (not pointed to):
+// machine slabs hold engines densely, so a rack-scale world pays one struct,
+// not two allocations, per engine.
 type Engine struct {
 	node *hw.Node
-	pipe *sim.Pipe
 	sh   *sim.Shard
+	pipe sim.Pipe
 }
 
 // New creates the engine for node n on the kernel's root shard.
@@ -37,14 +39,29 @@ func New(k *sim.Kernel, n *hw.Node) *Engine {
 
 // NewOn creates the engine for node n on the given shard, where its pipe,
 // counters, and completion callbacks all live. On a single-shard kernel the
-// root shard makes this identical to New.
+// root shard makes this identical to New. Standalone construction registers
+// the pipe immediately; partitions use Init over a dense slab instead.
 func NewOn(sh *sim.Shard, n *hw.Node) *Engine {
-	return &Engine{
-		node: n,
-		sh:   sh,
-		pipe: sh.NewPipe(fmt.Sprintf("node%d.dma", n.ID), n.P.DMABps, 0),
-	}
+	e := &Engine{}
+	Init(e, sh, n)
+	sh.Kernel().AdoptPipe(&e.pipe)
+	return e
 }
+
+// Init initializes a caller-allocated engine in place: the hot
+// world-construction path. It allocates nothing and touches only e, so
+// disjoint engines may be initialized concurrently; the caller registers
+// Pipe() with Kernel.AdoptPipe afterwards, serially.
+//
+//bgplint:hot
+func Init(e *Engine, sh *sim.Shard, n *hw.Node) {
+	e.node = n
+	e.sh = sh
+	sh.InitPipe(&e.pipe, "node.dma", int32(n.ID), n.P.DMABps, 0)
+}
+
+// Pipe returns the engine's bandwidth pipe for kernel registration.
+func (e *Engine) Pipe() *sim.Pipe { return &e.pipe }
 
 // Node returns the owning node.
 func (e *Engine) Node() *hw.Node { return e.node }

@@ -139,7 +139,8 @@ func TestConfigCounts(t *testing.T) {
 }
 
 func TestRackConfigs(t *testing.T) {
-	for racks, nodes := range map[int]int{1: 1024, 2: 2048, 4: 4096} {
+	for _, rc := range []struct{ racks, nodes int }{{1, 1024}, {2, 2048}, {4, 4096}} {
+		racks, nodes := rc.racks, rc.nodes
 		c, err := RackConfig(racks)
 		if err != nil {
 			t.Fatal(err)

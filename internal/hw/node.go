@@ -42,10 +42,19 @@ const CoresPerNode = 4
 type Node struct {
 	ID    int
 	Coord geometry.Coord
-	P     Params
+
+	// P points at the partition's one shared, immutable parameter set
+	// (machine.Machine owns it). Sharing it instead of embedding a copy is
+	// the node-level flyweight: Params is ~280 bytes, and a rack-scale world
+	// has hundreds of thousands of nodes.
+	P *Params
 
 	// Bus serializes DRAM traffic from all four cores and the DMA engine.
+	// It points at the embedded bus below; the indirection survives from the
+	// pointer-per-device era so call sites read n.Bus unchanged.
 	Bus *sim.Pipe
+
+	bus sim.Pipe
 }
 
 // NewNode creates a node with its memory bus on the kernel's root shard.
@@ -56,13 +65,30 @@ func NewNode(k *sim.Kernel, id int, c geometry.Coord, p Params) *Node {
 // NewNodeOn creates a node whose memory bus lives on the given shard, so the
 // node's local traffic is simulated entirely within that shard's windows. On
 // a single-shard kernel the root shard makes this identical to NewNode.
+// Standalone construction (tests, single-node studies): the node owns a
+// private copy of p and its bus pipe is registered immediately. Partitions
+// use InitNode over a dense slab instead.
 func NewNodeOn(sh *sim.Shard, id int, c geometry.Coord, p Params) *Node {
-	return &Node{
-		ID:    id,
-		Coord: c,
-		P:     p,
-		Bus:   sh.NewPipe(fmt.Sprintf("node%d.bus", id), p.BusBps, 0),
-	}
+	n := &Node{}
+	prm := p
+	InitNode(n, sh, id, c, &prm)
+	sh.Kernel().AdoptPipe(&n.bus)
+	return n
+}
+
+// InitNode initializes a caller-allocated node in place: the hot
+// world-construction path. It allocates nothing — the bus pipe is embedded,
+// the parameter set is shared — and touches only n, so disjoint nodes may be
+// initialized concurrently. The caller registers &n.bus (via Node.Bus) with
+// Kernel.AdoptPipe afterwards, serially.
+//
+//bgplint:hot
+func InitNode(n *Node, sh *sim.Shard, id int, c geometry.Coord, p *Params) {
+	n.ID = id
+	n.Coord = c
+	n.P = p
+	sh.InitPipe(&n.bus, "node.bus", int32(id), p.BusBps, 0)
+	n.Bus = &n.bus
 }
 
 // Cached reports whether a working set of the given size fits the node's

@@ -115,11 +115,42 @@ func TestRawGoroutineBenchSite(t *testing.T) {
 	runFixture(t, RawGoroutine, "bgpcoll/internal/bench", "testdata/rawgoroutine_bench")
 }
 
+func TestRawGoroutineMachineSite(t *testing.T) {
+	runFixture(t, RawGoroutine, "bgpcoll/internal/machine", "testdata/rawgoroutine_machine")
+}
+
 // TestSimDeterminismProgramFrameSite checks the frame-mutation exemption is
 // file-specific: the identical assignments are clean in program.go under
 // bgpcoll/internal/sim and flagged in any sibling file.
 func TestSimDeterminismProgramFrameSite(t *testing.T) {
 	runFixture(t, SimDeterminism, "bgpcoll/internal/sim", "testdata/simdeterminism_sim")
+}
+
+// TestSimDeterminismWallClockSite checks the wall-clock sanction is
+// file-specific: figs.go under bgpcoll/internal/bench may time the simulator
+// itself, any sibling file is still flagged.
+func TestSimDeterminismWallClockSite(t *testing.T) {
+	runFixture(t, SimDeterminism, "bgpcoll/internal/bench", "testdata/simdeterminism_bench")
+}
+
+// TestWallClockSanctionIsPathSpecific loads the same fixture under another
+// import path: figs.go loses its exemption and all three wall-clock reads
+// are flagged.
+func TestWallClockSanctionIsPathSpecific(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/simdeterminism_bench", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{SimDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (figs.go exemption must be path-specific):", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
 }
 
 func TestWorldReuse(t *testing.T) {
@@ -213,6 +244,23 @@ func TestSanctionedGoFileIsExactlyOne(t *testing.T) {
 	}
 	if len(diags) != 2 {
 		t.Errorf("got %d diagnostics, want 2 (parallel.go exemption must be path-specific):", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+
+	// And the machine construction site: build.go is only exempt under
+	// bgpcoll/internal/machine.
+	pkg, err = testLoader(t).LoadFixture("testdata/rawgoroutine_machine", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err = Run(pkg, []*Analyzer{RawGoroutine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2 (build.go exemption must be path-specific):", len(diags))
 		for _, d := range diags {
 			t.Logf("  %s", d)
 		}

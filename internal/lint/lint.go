@@ -160,6 +160,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // order leaking into event scheduling are all determinism bugs there.
 var simDriven = map[string]bool{
 	"bgpcoll/internal/sim":     true,
+	"bgpcoll/internal/hw":      true,
 	"bgpcoll/internal/coll":    true,
 	"bgpcoll/internal/ccmi":    true,
 	"bgpcoll/internal/mpi":     true,

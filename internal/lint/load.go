@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -215,8 +217,12 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkLoadable(l.fset, f); err != nil {
+		ok, err := fileIncluded(l.fset, f)
+		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			continue
 		}
 		if strings.HasSuffix(f.Name.Name, "_test") {
 			xtest = append(xtest, f)
@@ -250,32 +256,79 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 	return units, nil
 }
 
-// checkLoadable rejects files the source loader cannot build faithfully.
-// The loader type-checks every .go file it finds in a directory, so a file
-// with a build constraint it cannot honor would silently change the package
-// (or break the check with a baffling redeclaration error), and a cgo file
-// has no C toolchain behind the type-checker. Both fail up front with an
-// error that names the file and the reason instead.
-func checkLoadable(fset *token.FileSet, f *ast.File) error {
+// loaderTag is the build configuration the source loader compiles for: the
+// host OS and architecture, the gc toolchain, and the release tags — and no
+// optional tags, so race, ignore, cgo and foreign-GOOS constraints evaluate
+// false exactly as they do in a default `go build`.
+func loaderTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// buildIncluded evaluates f's build constraint, if any, under the loader's
+// fixed tag set. Only comments above the package clause can constrain the
+// build; a //go:build line is authoritative, otherwise legacy // +build
+// lines AND together.
+func buildIncluded(f *ast.File) (bool, error) {
+	var legacy []constraint.Expr
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
-			break // only comments above the package clause can constrain the build
+			break
 		}
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
-			if strings.HasPrefix(text, "//go:build") || strings.HasPrefix(text, "// +build") {
-				pos := fset.Position(c.Pos())
-				return fmt.Errorf("lint: %s: build-constrained file (%s): the source loader type-checks every .go file in a directory and cannot apply build tags; exclude the file from the lint tree or drop the constraint", pos.Filename, text)
+			switch {
+			case constraint.IsGoBuild(text):
+				expr, err := constraint.Parse(text)
+				if err != nil {
+					return false, fmt.Errorf("build-constrained file: parsing %q: %w", text, err)
+				}
+				return expr.Eval(loaderTag), nil
+			case constraint.IsPlusBuild(text):
+				expr, err := constraint.Parse(text)
+				if err != nil {
+					return false, fmt.Errorf("build-constrained file: parsing %q: %w", text, err)
+				}
+				legacy = append(legacy, expr)
 			}
 		}
+	}
+	for _, e := range legacy {
+		if !e.Eval(loaderTag) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// fileIncluded reports whether the source loader should type-check f. The
+// loader compiles for one fixed configuration (loaderTag), so it applies
+// build constraints the way `go build` does: a file excluded under that
+// configuration — //go:build race, ignore, a foreign GOOS — is skipped
+// rather than mis-merged into the package as a redeclaration. A file that
+// is included must still be checkable: a cgo file has no C toolchain behind
+// the type-checker and fails up front with an error naming the file.
+func fileIncluded(fset *token.FileSet, f *ast.File) (bool, error) {
+	ok, err := buildIncluded(f)
+	if err != nil {
+		pos := fset.Position(f.Package)
+		return false, fmt.Errorf("lint: %s: %w", pos.Filename, err)
+	}
+	if !ok {
+		return false, nil
 	}
 	for _, imp := range f.Imports {
 		if imp.Path.Value == `"C"` {
 			pos := fset.Position(f.Package)
-			return fmt.Errorf("lint: %s: file imports \"C\": cgo packages cannot be type-checked by the source loader; exclude the file from the lint tree", pos.Filename)
+			return false, fmt.Errorf("lint: %s: file imports \"C\": cgo packages cannot be type-checked by the source loader; exclude the file from the lint tree", pos.Filename)
 		}
 	}
-	return nil
+	return true, nil
 }
 
 type checked struct {
@@ -326,8 +379,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkLoadable(l.fset, f); err != nil {
+		ok, err := fileIncluded(l.fset, f)
+		if err != nil {
 			return nil, fmt.Errorf("lint: import %q: %w", path, err)
+		}
+		if !ok {
+			continue
 		}
 		files = append(files, f)
 	}

@@ -24,10 +24,11 @@ func writeModule(t *testing.T, files map[string]string) string {
 	return dir
 }
 
-// The loader includes every .go file it finds, so a file carrying a build
-// constraint it cannot honor must fail with an error naming the file and
-// the reason — not a baffling redeclaration or type error.
-func TestLoaderRejectsBuildConstrainedFile(t *testing.T) {
+// The loader compiles for one fixed configuration (host OS/arch, gc, no
+// optional tags), so it applies build constraints the way a default
+// `go build` does: an excluded file — //go:build ignore here — is skipped,
+// not mis-merged into the package as a redeclaration.
+func TestLoaderSkipsExcludedFile(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": "module scratchmod\n\ngo 1.22\n",
 		"a.go":   "package a\n\nfunc A() int { return 1 }\n",
@@ -37,30 +38,80 @@ func TestLoaderRejectsBuildConstrainedFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = l.Load([]string{"./..."})
-	if err == nil {
-		t.Fatal("loading a build-constrained file succeeded; want a clear error")
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading with an excluded file: %v", err)
 	}
-	for _, want := range []string{"gen.go", "build-constrained", "//go:build ignore"} {
-		if !strings.Contains(err.Error(), want) {
-			t.Errorf("error %q does not mention %q", err, want)
-		}
+	if len(pkgs) != 1 || pkgs[0].Name != "a" || len(pkgs[0].Files) != 1 {
+		t.Fatalf("got %d packages, want just package a from a.go", len(pkgs))
 	}
 }
 
-// Legacy // +build constraints are caught the same way.
-func TestLoaderRejectsLegacyBuildTag(t *testing.T) {
+// The race/!race pair is the motivating case: the !race half belongs to the
+// tagless build and must be type-checked (the rest of the package depends on
+// its declarations); the race half must be skipped, or the pair would be a
+// redeclaration.
+func TestLoaderResolvesRacePair(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module scratchmod\n\ngo 1.22\n",
+		"a.go":        "package a\n\nvar _ = raceEnabled\n",
+		"race_off.go": "//go:build !race\n\npackage a\n\nconst raceEnabled = false\n",
+		"race_on.go":  "//go:build race\n\npackage a\n\nconst raceEnabled = true\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading a race-constrained pair: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 2 {
+		t.Fatalf("got %d files, want a.go and race_off.go", len(pkgs[0].Files))
+	}
+}
+
+// Legacy // +build constraints evaluate under the same configuration: a
+// matching tag keeps the file, a foreign GOOS drops it.
+func TestLoaderEvaluatesLegacyBuildTag(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module scratchmod\n\ngo 1.22\n",
+		"a.go":    "package a\n",
+		"old.go":  "// +build linux darwin\n\npackage a\n\nvar Old = 1\n",
+		"none.go": "// +build plan9\n\npackage a\n\nvar Old = 2\n", // would redeclare if kept
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading legacy-constrained files: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 2 {
+		t.Fatalf("got %d files, want a.go and old.go", len(pkgs[0].Files))
+	}
+}
+
+// A malformed constraint still fails with an error naming the file: silently
+// including or dropping the file could change the package.
+func TestLoaderRejectsMalformedConstraint(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": "module scratchmod\n\ngo 1.22\n",
-		"old.go": "// +build linux\n\npackage a\n",
+		"bad.go": "//go:build race &&\n\npackage a\n",
 	})
 	l, err := NewLoader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, err = l.Load([]string{"./..."})
-	if err == nil || !strings.Contains(err.Error(), "build-constrained") {
-		t.Fatalf("got %v, want a build-constrained error", err)
+	if err == nil {
+		t.Fatal("loading a malformed constraint succeeded; want a clear error")
+	}
+	for _, want := range []string{"bad.go", "build-constrained"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -86,26 +137,20 @@ func TestLoaderRejectsCgoFile(t *testing.T) {
 	}
 }
 
-// Build-constrained files in a module-internal dependency fail with the
-// importing chain in the message.
-func TestLoaderRejectsConstrainedDependency(t *testing.T) {
+// Excluded files in a module-internal dependency are skipped the same way:
+// the import resolves against the files the default build would compile.
+func TestLoaderSkipsExcludedDependencyFile(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod":        "module scratchmod\n\ngo 1.22\n",
 		"app/main.go":   "package app\n\nimport \"scratchmod/dep\"\n\nvar _ = dep.D\n",
 		"dep/dep.go":    "package dep\n\nvar D = 1\n",
-		"dep/native.go": "//go:build cgo\n\npackage dep\n",
+		"dep/native.go": "//go:build cgo\n\npackage dep\n\nvar D = 2\n", // would redeclare if kept
 	})
 	l, err := NewLoader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = l.Load([]string{"./app"})
-	if err == nil {
-		t.Fatal("loading against a build-constrained dependency succeeded; want a clear error")
-	}
-	for _, want := range []string{"scratchmod/dep", "native.go", "build-constrained"} {
-		if !strings.Contains(err.Error(), want) {
-			t.Errorf("error %q does not mention %q", err, want)
-		}
+	if _, err = l.Load([]string{"./app"}); err != nil {
+		t.Fatalf("loading against an excluded dependency file: %v", err)
 	}
 }

@@ -1,0 +1,9 @@
+package machine
+
+// This file mirrors the third sanctioned launch site
+// internal/machine/build.go: world construction fans contiguous slab blocks
+// across joined workers before the kernel ever runs, so the analyzer exempts
+// go statements here (and only here) within bgpcoll/internal/machine.
+func sanctionedFill(fill func(lo, hi int)) {
+	go fill(0, 1)
+}

@@ -1,0 +1,9 @@
+package machine
+
+// Goroutines anywhere else in the machine package run concurrently with the
+// simulations the partition hosts.
+func flaggedHelper(done chan<- struct{}) {
+	go func() { // want `raw go statement in a simulator-driven package`
+		done <- struct{}{}
+	}()
+}

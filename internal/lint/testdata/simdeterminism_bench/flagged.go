@@ -1,0 +1,9 @@
+package bench
+
+import "time"
+
+// Any sibling file reading the wall clock is still flagged: the sanction is
+// per file, not per package.
+func flaggedTiming() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}

@@ -16,7 +16,10 @@ import (
 	"bgpcoll/internal/tree"
 )
 
-// Node bundles one compute node's devices.
+// Node bundles one compute node's devices. The pointers aim into the
+// machine's dense slabs (hwNodes, engines below); the wrapper itself is two
+// words, kept so the ~30 call sites reading m.Nodes[id].HW / .DMA survive
+// the flyweight layout unchanged.
 type Node struct {
 	HW  *hw.Node
 	DMA *dma.Engine
@@ -27,13 +30,24 @@ type Machine struct {
 	K     *sim.Kernel
 	Cfg   hw.Config
 	Geom  geometry.Torus
-	Nodes []*Node
+	Nodes []Node
 	Torus *torus.Network
 	Tree  *tree.Network
 
 	// Trace, when non-nil, records schedule and protocol events. Traces are
 	// a single-shard facility: a sharded machine must run untraced.
 	Trace *trace.Log
+
+	// prm is the partition's one shared, immutable parameter set; every
+	// hw.Node points at it instead of embedding a ~280-byte copy.
+	prm hw.Params
+
+	// Per-node device slabs. Fixed length after build (never appended to),
+	// so interior pointers — Node wrappers, embedded pipes registered with
+	// the kernel — stay valid for the machine's lifetime. Reconfigure reuses
+	// their capacity when the new geometry fits.
+	hwNodes []hw.Node
+	engines []dma.Engine
 
 	// Sharded-partition state (nil/empty on a single-shard machine): the
 	// peer shards, the hub shard carrying the collective network, and the
@@ -78,13 +92,55 @@ func New(cfg hw.Config) (*Machine, error) {
 		}
 		k.SetLookahead(la)
 	}
-	m.Nodes = make([]*Node, cfg.Nodes())
-	for id := range m.Nodes {
-		sh := m.ShardOf(id)
-		n := hw.NewNodeOn(sh, id, cfg.Torus.CoordOf(id), cfg.Params)
-		m.Nodes[id] = &Node{HW: n, DMA: dma.NewOn(sh, n)}
-	}
+	m.prm = cfg.Params
+	m.buildNodes()
 	return m, nil
+}
+
+// buildNodes (re)fills the per-node device slabs for the current Cfg and
+// registers every device pipe with the kernel. The fill fans out in
+// contiguous blocks (build.go): element id's content depends only on
+// (id, Cfg), so the result is bit-identical to a serial fill. Pipe adoption
+// appends to shared kernel state, so it runs serially in id order after the
+// join.
+func (m *Machine) buildNodes() {
+	n := m.Cfg.Nodes()
+	m.hwNodes = growSlab(m.hwNodes, n)
+	m.engines = growSlab(m.engines, n)
+	m.Nodes = growSlab(m.Nodes, n)
+	ParallelBlocks(n, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			m.initNode(id)
+		}
+	})
+	for id := 0; id < n; id++ {
+		m.K.AdoptPipe(m.Nodes[id].HW.Bus)
+		m.K.AdoptPipe(m.Nodes[id].DMA.Pipe())
+	}
+}
+
+// initNode fills node id's slab slots in place. Hot: one call per node on
+// the construction path, allocation-free (shared params, embedded pipes).
+//
+//bgplint:hot
+func (m *Machine) initNode(id int) {
+	sh := m.ShardOf(id)
+	hw.InitNode(&m.hwNodes[id], sh, id, m.Geom.CoordOf(id), &m.prm)
+	dma.Init(&m.engines[id], sh, &m.hwNodes[id])
+	m.Nodes[id] = Node{HW: &m.hwNodes[id], DMA: &m.engines[id]}
+}
+
+// growSlab returns a slab of length n, reusing s's backing array when it
+// fits (Reconfigure) and clearing any shrunk-away tail so stale elements
+// cannot pin memory.
+func growSlab[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	if len(s) > n {
+		clear(s[n:])
+	}
+	return s[:n]
 }
 
 // Sharded reports whether the partition runs on a sharded kernel.
@@ -104,10 +160,10 @@ func (m *Machine) ShardOf(node int) *sim.Shard {
 func (m *Machine) HubShard() *sim.Shard { return m.hub }
 
 // Node returns the node with the given id.
-func (m *Machine) Node(id int) *Node { return m.Nodes[id] }
+func (m *Machine) Node(id int) *Node { return &m.Nodes[id] }
 
 // NodeAt returns the node at coordinate c.
-func (m *Machine) NodeAt(c geometry.Coord) *Node { return m.Nodes[m.Geom.NodeID(c)] }
+func (m *Machine) NodeAt(c geometry.Coord) *Node { return &m.Nodes[m.Geom.NodeID(c)] }
 
 // Colors returns the color set the torus collectives use: six edge-disjoint
 // routes on a torus partition.

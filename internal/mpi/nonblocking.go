@@ -58,7 +58,7 @@ func (r *Rank) Isend(dst int, buf data.Buf, tag int) *Request {
 	if dst == r.id {
 		panic("mpi: send to self")
 	}
-	to := r.w.ranks[dst]
+	to := &r.w.ranks[dst]
 	k := r.w.M.K
 	n := buf.Len()
 	req := &Request{owner: r, ev: k.NewEvent(fmt.Sprintf("isend.%d.%d.%d", r.id, dst, tag))}
@@ -159,7 +159,7 @@ func (r *Rank) Irecv(src int, buf data.Buf, tag int) *Request {
 	// Match an already-arrived message or register an event-driven posted
 	// receive.
 	key := matchKey{src: src, tag: tag}
-	box := r.inbox
+	box := r.box()
 	if arrs := box.arrived[key]; len(arrs) > 0 {
 		arr := arrs[0]
 		box.arrived[key] = arrs[1:]

@@ -67,11 +67,21 @@ type rendezvous struct {
 	dstBuf  data.Buf
 }
 
+// box returns the rank's mailbox, materializing it on first touch: ranks
+// that never exchange point-to-point messages (most of a rack-scale
+// collective-only job) never pay for the match maps.
+func (r *Rank) box() *mailbox {
+	if r.inbox == nil {
+		r.inbox = newMailbox()
+	}
+	return r.inbox
+}
+
 // deliver hands an arrival to the destination rank's mailbox, matching a
 // posted receive if one exists.
 func (r *Rank) deliver(src, tag int, arr *arrival) {
 	key := matchKey{src: src, tag: tag}
-	box := r.inbox
+	box := r.box()
 	if reqs := box.posted[key]; len(reqs) > 0 {
 		req := reqs[0]
 		box.posted[key] = reqs[1:]
@@ -85,7 +95,7 @@ func (r *Rank) deliver(src, tag int, arr *arrival) {
 // takeArrival removes a matching arrival or registers a posted receive.
 func (r *Rank) takeArrival(src, tag int) *arrival {
 	key := matchKey{src: src, tag: tag}
-	box := r.inbox
+	box := r.box()
 	if arrs := box.arrived[key]; len(arrs) > 0 {
 		arr := arrs[0]
 		box.arrived[key] = arrs[1:]
@@ -104,7 +114,7 @@ func (r *Rank) Send(dst int, buf data.Buf, tag int) {
 	if dst == r.id {
 		panic("mpi: send to self")
 	}
-	to := r.w.ranks[dst]
+	to := &r.w.ranks[dst]
 	k := r.w.M.K
 	n := buf.Len()
 

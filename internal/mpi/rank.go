@@ -10,18 +10,21 @@ import (
 	"bgpcoll/internal/sim"
 )
 
-// Rank is one MPI process: a simulated core of one node.
+// Rank is one MPI process: a simulated core of one node. The layout is the
+// per-rank flyweight: the CNK process-window state is embedded (not a
+// separate allocation), the mailbox is nil until the rank's first
+// point-to-point message, and the process name ("rankN") is synthesized
+// lazily by the kernel from the shared "rank" prefix and the id.
 type Rank struct {
 	w      *World
 	id     int
-	name   string // process name ("rankN"), formatted once at NewWorld
 	nodeID int
 	lrank  int
 	node   *machine.Node
 	proc   *sim.Proc
-	cnk    *cnk.Process
-	inbox  *mailbox
-	seq    int64 // collective sequence number, advanced per collective call
+	cnk    cnk.Process
+	inbox  *mailbox // lazy; use box()
+	seq    int64    // collective sequence number, advanced per collective call
 }
 
 // Rank returns the global rank id.
@@ -67,7 +70,7 @@ func (r *Rank) Node() *machine.Node { return r.node }
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // CNK returns the rank's process-window state.
-func (r *Rank) CNK() *cnk.Process { return r.cnk }
+func (r *Rank) CNK() *cnk.Process { return &r.cnk }
 
 // Now returns the current virtual time.
 func (r *Rank) Now() sim.Time { return r.proc.Now() }
@@ -80,7 +83,7 @@ func (r *Rank) RankOf(nodeID, lrank int) int {
 
 // LocalPeer returns this node's rank with the given local rank.
 func (r *Rank) LocalPeer(lrank int) *Rank {
-	return r.w.ranks[r.RankOf(r.nodeID, lrank)]
+	return &r.w.ranks[r.RankOf(r.nodeID, lrank)]
 }
 
 // NewBuf allocates a message buffer honoring the world's functional mode.

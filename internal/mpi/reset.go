@@ -1,5 +1,7 @@
 package mpi
 
+import "bgpcoll/internal/hw"
+
 // Reset returns a world whose last run completed cleanly to its
 // post-NewWorld state without rebuilding the partition: the machine resets
 // (kernel clock/queues/arena/pipes, tree op numbering), every rank rewinds
@@ -21,12 +23,40 @@ func (w *World) Reset() {
 		clear(m)
 	}
 	w.hubBarrier.pending = w.hubBarrier.pending[:0]
-	for _, r := range w.ranks {
+	for id := range w.ranks {
+		r := &w.ranks[id]
 		r.proc = nil
 		r.seq = 0
-		r.inbox.reset()
+		if r.inbox != nil {
+			r.inbox.reset()
+		}
 		r.cnk.Reset()
 	}
+}
+
+// Reconfigure rebuilds the world for a new configuration on the same kernel:
+// machine.Reconfigure rebuilds the device graph (reusing slab capacity), the
+// rank slab is refilled in place, and the job-level state — tunables, the
+// shared-op registry, any materialized mailboxes — returns to its
+// post-NewWorld condition. Growing a pooled world this way costs a re-init
+// instead of a rebuild; the result is bit-identical, in every
+// kernel-observable way, to NewWorld(cfg) (pinned by the bench equivalence
+// tests). Only single-shard worlds can be reconfigured; see
+// machine.Reconfigure.
+//
+// This file is a sanctioned Reset site for the bgplint worldreuse rule;
+// Reconfigure is Reset's capacity-aware sibling and lives at the same choke
+// point.
+func (w *World) Reconfigure(cfg hw.Config) error {
+	if err := w.M.Reconfigure(cfg); err != nil {
+		return err
+	}
+	w.Tunables = DefaultTunables()
+	clear(w.ops)
+	w.shardOps = nil
+	w.hubBarrier.pending = w.hubBarrier.pending[:0]
+	w.buildRanks()
+	return nil
 }
 
 // reset empties the mailbox for a reused world. A clean run normally matches

@@ -13,7 +13,12 @@ import (
 type World struct {
 	M        *machine.Machine
 	Tunables Tunables
-	ranks    []*Rank
+
+	// ranks is a dense slab: one Rank value per rank, CNK state embedded,
+	// mailbox lazy. Handles are interior pointers (&ranks[id]); the slab is
+	// never appended to after build, so they stay valid for the world's
+	// lifetime. Reconfigure reuses the backing array when the new job fits.
+	ranks []Rank
 
 	ops map[opKey]*opEntry
 
@@ -85,24 +90,51 @@ func NewWorld(cfg hw.Config) (*World, error) {
 			w.shardOps[i] = make(map[opKey]*opEntry)
 		}
 	}
-	ppn := cfg.Mode.ProcsPerNode()
-	w.ranks = make([]*Rank, cfg.Ranks())
-	for id := range w.ranks {
-		nodeID := id / ppn
-		lrank := id % ppn
-		node := m.Node(nodeID)
-		w.ranks[id] = &Rank{
-			w:      w,
-			id:     id,
-			name:   fmt.Sprintf("rank%d", id),
-			nodeID: nodeID,
-			lrank:  lrank,
-			node:   node,
-			cnk:    cnk.NewProcess(node.HW, lrank),
-			inbox:  newMailbox(),
-		}
-	}
+	w.buildRanks()
 	return w, nil
+}
+
+// buildRanks (re)fills the rank slab for the machine's current Cfg. Like
+// machine.buildNodes, the fill fans out in contiguous blocks: rank id's
+// content is a pure function of (id, Cfg), so the parallel fill is
+// bit-identical to a serial one.
+func (w *World) buildRanks() {
+	n := w.M.Cfg.Ranks()
+	if cap(w.ranks) < n {
+		w.ranks = make([]Rank, n)
+	} else {
+		if len(w.ranks) > n {
+			clear(w.ranks[n:])
+		}
+		w.ranks = w.ranks[:n]
+	}
+	machine.ParallelBlocks(n, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			w.initRank(id)
+		}
+	})
+}
+
+// initRank fills rank id's slab slot in place. Hot: one call per rank on the
+// construction path, allocation-free — the CNK state is embedded, the
+// mailbox stays nil until the first point-to-point message, and the process
+// name is synthesized lazily by the kernel (SpawnIdx).
+//
+//bgplint:hot
+func (w *World) initRank(id int) {
+	ppn := w.M.Cfg.Mode.ProcsPerNode()
+	nodeID := id / ppn
+	lrank := id % ppn
+	r := &w.ranks[id]
+	r.w = w
+	r.id = id
+	r.nodeID = nodeID
+	r.lrank = lrank
+	r.node = w.M.Node(nodeID)
+	r.proc = nil
+	r.inbox = nil
+	r.seq = 0
+	cnk.Init(&r.cnk, r.node.HW, lrank)
 }
 
 // Size returns the rank count.
@@ -110,7 +142,7 @@ func (w *World) Size() int { return len(w.ranks) }
 
 // Rank returns rank id's handle (for inspection; rank code receives its own
 // handle through Run).
-func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+func (w *World) Rank(id int) *Rank { return &w.ranks[id] }
 
 // Sharded reports whether the world runs on a sharded kernel.
 func (w *World) Sharded() bool { return w.M.Sharded() }
@@ -119,8 +151,9 @@ func (w *World) Sharded() bool { return w.M.Sharded() }
 // simulation until all ranks return. It returns the virtual time consumed.
 // On a sharded world each rank's process is spawned on its node's shard.
 func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
-	for _, r := range w.ranks {
-		r.proc = r.Shard().Spawn(r.name, func(p *sim.Proc) {
+	for id := range w.ranks {
+		r := &w.ranks[id]
+		r.proc = r.Shard().SpawnIdx("rank", int32(r.id), func(p *sim.Proc) {
 			fn(r)
 		})
 	}
@@ -136,8 +169,9 @@ func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
 // operation blocks — either way the schedule is the same one Run produces
 // from the blocking transcription.
 func (w *World) RunProgram(fn func(r *Rank)) (sim.Time, error) {
-	for _, r := range w.ranks {
-		r.proc = r.Shard().SpawnProgram(r.name, func(p *sim.Proc) {
+	for id := range w.ranks {
+		r := &w.ranks[id]
+		r.proc = r.Shard().SpawnProgramIdx("rank", int32(r.id), func(p *sim.Proc) {
 			fn(r)
 		})
 	}

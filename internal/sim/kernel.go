@@ -264,7 +264,7 @@ func (k *Kernel) deadlockError() error {
 		for _, pi := range sh.procs {
 			p := sh.procAt(pi)
 			if what := p.blockedOn(); what != "" {
-				blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, what))
+				blocked = append(blocked, fmt.Sprintf("%s(%s)", p.Name(), what))
 			}
 		}
 	}

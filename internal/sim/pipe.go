@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Pipe models a serialized bandwidth resource: a torus link, the DMA engine,
 // the collective tree channel, or a memory bus. Transfers occupy the pipe
 // back to back in reservation order, so concurrent users automatically share
@@ -17,8 +19,13 @@ package sim
 type Pipe struct {
 	sh   *Shard
 	name string
-	ppb  float64 // picoseconds per byte
-	lat  Time
+	// nid is the flyweight name suffix: a per-device index formatted into
+	// Name() only when a name is actually rendered (panics, reports). -1
+	// means the name is just the string. Worlds with 10^5..10^6 pipes pay
+	// for one shared prefix string instead of a fmt.Sprintf per device.
+	nid int32
+	ppb float64 // picoseconds per byte
+	lat Time
 
 	free Time
 
@@ -39,16 +46,55 @@ func (k *Kernel) NewPipe(name string, bytesPerSecond float64, latency Time) *Pip
 // lifetime); the kernel registers each pipe so Reset can rewind its
 // reservation state and statistics along with the clock.
 func (sh *Shard) NewPipe(name string, bytesPerSecond float64, latency Time) *Pipe {
-	if bytesPerSecond <= 0 {
-		panic("sim: pipe " + name + " with non-positive bandwidth")
-	}
-	p := &Pipe{sh: sh, name: name, ppb: float64(Second) / bytesPerSecond, lat: latency}
-	sh.k.pipes = append(sh.k.pipes, p)
+	p := &Pipe{}
+	sh.InitPipe(p, name, -1, bytesPerSecond, latency)
+	sh.k.AdoptPipe(p)
 	return p
 }
 
+// InitPipe initializes a caller-allocated pipe in place without registering
+// it with the kernel. It touches only the pipe itself, so disjoint pipes may
+// be initialized concurrently (the machine layer builds node devices in
+// parallel blocks); the caller must register every pipe with AdoptPipe from
+// a single goroutine before the kernel runs, or Reset will not rewind it.
+// nid >= 0 appends "[nid]" to the rendered name (see Pipe.nid).
+func (sh *Shard) InitPipe(p *Pipe, name string, nid int32, bytesPerSecond float64, latency Time) {
+	if bytesPerSecond <= 0 {
+		panic("sim: pipe " + name + " with non-positive bandwidth")
+	}
+	*p = Pipe{sh: sh, name: name, nid: nid, ppb: float64(Second) / bytesPerSecond, lat: latency}
+}
+
+// AdoptPipe registers a pipe initialized with InitPipe so Reset rewinds its
+// reservation state along with the clock. Registration order is irrelevant
+// (Reset rewinds all pipes); calling it once per pipe is the caller's
+// responsibility. Like NewPipe, it may run mid-simulation (lazily created
+// torus links, per-operation protocol pipes) — but only from code holding
+// the virtual-CPU token, never from a construction worker after Run starts.
+func (k *Kernel) AdoptPipe(p *Pipe) {
+	k.pipes = append(k.pipes, p)
+}
+
+// ReleasePipes forgets every registered pipe. It exists for capacity-aware
+// reconfiguration (machine.Reconfigure): a partition that rebuilds its device
+// graph on the same kernel must first drop the old generation's pipes or
+// Reset would keep rewinding — and keep alive — devices nothing references.
+// Callers must not reserve on a released pipe afterwards.
+func (k *Kernel) ReleasePipes() {
+	if k.running {
+		panic("sim: ReleasePipes during Run")
+	}
+	clear(k.pipes)
+	k.pipes = k.pipes[:0]
+}
+
 // Name returns the pipe's name.
-func (p *Pipe) Name() string { return p.name }
+func (p *Pipe) Name() string {
+	if p.nid < 0 {
+		return p.name
+	}
+	return fmt.Sprintf("%s[%d]", p.name, p.nid)
+}
 
 // Reserve occupies the pipe for n bytes starting no earlier than now and
 // returns the completion time (including latency).
@@ -68,7 +114,7 @@ func (p *Pipe) ReserveFrom(t Time, n int) Time {
 // of hop i to lower-bound the start of hop i+1 by one hop latency.
 func (p *Pipe) ReserveAt(t Time, n int) (start, done Time) {
 	if n < 0 {
-		panic("sim: pipe " + p.name + " negative transfer")
+		panic("sim: pipe " + p.Name() + " negative transfer")
 	}
 	start = maxTime(maxTime(t, p.sh.now), p.free)
 	cost := Time(float64(n) * p.ppb)

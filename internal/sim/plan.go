@@ -202,6 +202,6 @@ func (pl *Plan) runInline(p *Proc) {
 
 func (p *Proc) recoverStep() {
 	if r := recover(); r != nil {
-		p.sh.fail(procPanicError(p.name, r))
+		p.sh.fail(procPanicError(p.Name(), r))
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"strconv"
 )
 
 // Proc is a simulated process: a coroutine backed by a pooled goroutine
@@ -16,6 +17,11 @@ type Proc struct {
 	k    *Kernel
 	sh   *Shard
 	name string
+	// nid is the flyweight name suffix (see Pipe.nid): SpawnIdx processes
+	// share one prefix string ("rank") and render "rank<nid>" lazily in
+	// Name(), so a million-rank world formats no per-process name unless a
+	// failure actually reports one. -1 for plainly named processes.
+	nid int32
 
 	// self is the process's dense arena index (arena.go): the value queue
 	// entries carry instead of a *Proc, and stable for the kernel's lifetime.
@@ -59,7 +65,7 @@ type Proc struct {
 // slot belongs to the next lease now (or will shortly).
 func (p *Proc) check() {
 	if p.epoch != p.k.epoch {
-		panic("sim: process handle (" + p.name + ") used across Kernel.Reset")
+		panic("sim: process handle (" + p.Name() + ") used across Kernel.Reset")
 	}
 }
 
@@ -68,7 +74,7 @@ func (p *Proc) check() {
 // process's wait state mid-window.
 func (p *Proc) checkOwner(sh *Shard) {
 	if sh != p.sh {
-		panic("sim: process " + p.name + " waiting on an object of another shard")
+		panic("sim: process " + p.Name() + " waiting on an object of another shard")
 	}
 }
 
@@ -88,7 +94,14 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc { return k.s0.Spawn(
 
 // Spawn creates a process running fn on this shard; see Kernel.Spawn.
 func (sh *Shard) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := sh.carveProc(name)
+	return sh.SpawnIdx(name, -1, fn)
+}
+
+// SpawnIdx is Spawn for indexed process families: the process renders its
+// name lazily as "<prefix><id>" (id >= 0), so spawning a million ranks
+// formats no name strings. Scheduling is identical to Spawn.
+func (sh *Shard) SpawnIdx(prefix string, id int32, fn func(p *Proc)) *Proc {
+	p := sh.carveProc(prefix, id)
 	w := getWorker()
 	p.gate = w.gate
 	w.p, w.fn = p, fn
@@ -103,9 +116,9 @@ func (sh *Shard) Spawn(name string, fn func(p *Proc)) *Proc {
 // Kernel.Reset). The program frame is cleared in resetFrame (program.go),
 // the one file allowed to touch those fields; the plan keeps its step-buffer
 // capacity.
-func (sh *Shard) carveProc(name string) *Proc {
+func (sh *Shard) carveProc(name string, nid int32) *Proc {
 	p, self := sh.arena.newProc()
-	p.k, p.sh, p.name = sh.k, sh, name
+	p.k, p.sh, p.name, p.nid = sh.k, sh, name, nid
 	p.self, p.epoch = self, sh.k.epoch
 	p.gate = nil
 	p.waitEv, p.waitC, p.waitGE = nil, nil, 0
@@ -124,7 +137,7 @@ func (sh *Shard) carveProc(name string) *Proc {
 func (p *Proc) exec(fn func(p *Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
-			p.sh.fail(procPanicError(p.name, r))
+			p.sh.fail(procPanicError(p.Name(), r))
 		}
 		sh := p.sh
 		last := len(sh.procs) - 1
@@ -147,7 +160,7 @@ func (p *Proc) exec(fn func(p *Proc)) {
 // return to the shard's scheduler loop.
 func (p *Proc) yield() {
 	if p.inline {
-		panic("sim: blocking primitive called on program process " + p.name)
+		panic("sim: blocking primitive called on program process " + p.Name())
 	}
 	q := p.sh.handoff()
 	if q == p {
@@ -173,8 +186,14 @@ func (p *Proc) blockedOn() string {
 	return ""
 }
 
-// Name returns the process name given at Spawn.
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name given at Spawn, or "<prefix><id>" for a
+// SpawnIdx process (formatted on demand; see the nid field).
+func (p *Proc) Name() string {
+	if p.nid < 0 {
+		return p.name
+	}
+	return p.name + strconv.Itoa(int(p.nid))
+}
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }

@@ -63,10 +63,16 @@ func (k *Kernel) SpawnProgram(name string, fn func(p *Proc)) *Proc {
 // SpawnProgram creates a program-mode process on this shard; see
 // Kernel.SpawnProgram.
 func (sh *Shard) SpawnProgram(name string, fn func(p *Proc)) *Proc {
+	return sh.SpawnProgramIdx(name, -1, fn)
+}
+
+// SpawnProgramIdx is SpawnProgram for indexed process families (see
+// Shard.SpawnIdx): the name renders lazily as "<prefix><id>".
+func (sh *Shard) SpawnProgramIdx(prefix string, id int32, fn func(p *Proc)) *Proc {
 	if sh.k.noProgram {
-		return sh.Spawn(name, fn)
+		return sh.SpawnIdx(prefix, id, fn)
 	}
-	p := sh.carveProc(name)
+	p := sh.carveProc(prefix, id)
 	p.inline = true
 	p.idx = len(sh.procs)
 	sh.procs = append(sh.procs, p.self)
@@ -93,7 +99,7 @@ func (p *Proc) Inline() bool { return p.inline }
 // failure a goroutine process body panic produces.
 func (p *Proc) progRecover() {
 	if r := recover(); r != nil {
-		p.sh.fail(procPanicError(p.name, r))
+		p.sh.fail(procPanicError(p.Name(), r))
 	}
 }
 
@@ -142,7 +148,7 @@ func (p *Proc) finishProgram() {
 func (p *Proc) checkIdle() {
 	p.check()
 	if p.armed {
-		panic("sim: program operation with a resume already pending on " + p.name)
+		panic("sim: program operation with a resume already pending on " + p.Name())
 	}
 }
 
