@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpcoll/internal/bench"
+	"bgpcoll/internal/hw"
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/serve"
+)
+
+// TestCacheFileAsReport pins the cross-package contract: a cache file
+// written by serve.Store.Save loads as a benchdiff report, with per-
+// experiment wall_ms summed from the entries' cold-miss compute costs.
+// Building the file through the real Store (not a JSON literal) means a
+// schema change on either side fails here instead of silently in CI.
+func TestCacheFileAsReport(t *testing.T) {
+	s := serve.NewStore()
+	for i, e := range []struct {
+		exp string
+		ms  float64
+	}{
+		{"fig6", 10}, {"fig6", 30}, {"fig7", 5}, {"adhoc", 2},
+	} {
+		c := bench.Cell{
+			Experiment: e.exp, Series: "s", Cfg: hw.DefaultConfig(),
+			Kind: bench.CellBcast, Algo: mpi.BcastTorusShaddr,
+			Arg: 1024 * (i + 1), Iters: 1, // distinct payloads, distinct keys
+		}
+		s.Put(serve.Entry{
+			Key: serve.KeyCell(c), Canon: serve.CanonicalCell(c),
+			Experiment: e.exp, Series: "s",
+			PS: 1000, ComputeMS: e.ms,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"adhoc": 2, "fig6": 40, "fig7": 5}
+	if len(r.Experiments) != len(want) {
+		t.Fatalf("experiments: %+v", r.Experiments)
+	}
+	for _, e := range r.Experiments {
+		if want[e.ID] != e.WallMS {
+			t.Errorf("%s: wall_ms %.1f, want %.1f", e.ID, e.WallMS, want[e.ID])
+		}
+	}
+	if r.TotalMS != 47 {
+		t.Errorf("total_ms = %.1f, want 47", r.TotalMS)
+	}
+
+	// A cache candidate diffs against a bgpbench baseline: faster cold
+	// misses pass the gate, slower ones fail it.
+	base := mkReport("fig6", 50.0, "fig7", 10.0)
+	if _, _, regressed := diff(base, r, gate{Threshold: 0.10}); regressed {
+		t.Error("faster cache candidate regressed")
+	}
+	slow := mkReport("fig6", 20.0, "fig7", 1.0)
+	if _, _, regressed := diff(slow, r, gate{Threshold: 0.10}); !regressed {
+		t.Error("slower cache candidate passed the gate")
+	}
+}
+
+// TestLoadStillReadsBenchReports pins that the cache probe does not break
+// ordinary bgpbench report loading.
+func TestLoadStillReadsBenchReports(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	blob := `{"workers":2,"total_ms":100,"experiments":[{"id":"fig6","wall_ms":100}]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 2 || len(r.Experiments) != 1 || r.Experiments[0].WallMS != 100 {
+		t.Fatalf("report: %+v", r)
+	}
+}

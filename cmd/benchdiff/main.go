@@ -7,6 +7,14 @@
 //	benchdiff -threshold 0.05 baseline.json new.json   # tighter gate
 //	benchdiff -allocs 0.10 baseline.json new.json      # also gate alloc_bytes
 //	benchdiff -strict baseline.json new.json           # missing experiment fails
+//	benchdiff BENCH_SIM.quick.json bgpsimd-cache.json  # server cache as candidate
+//
+// Either argument may also be a bgpsimd persisted cache file
+// (-cache-file; schema bgpsimd-cache/v1): cached entries carry the
+// wall-clock cost of their original cold miss, which benchdiff groups by
+// experiment and sums into wall_ms rows comparable to a workers=1 bgpbench
+// report. CI uses this to gate the server's cold-miss cost against the
+// committed baselines.
 //
 // Output is one row per experiment with the wall-clock ratio, signed percent
 // delta, and (when either report carries memstats) the allocated-bytes delta,
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"text/tabwriter"
 )
 
@@ -102,10 +111,52 @@ func (r *report) describe() string {
 	return s
 }
 
+// cacheSchema is the schema marker of a bgpsimd persisted cache file
+// (internal/serve's -cache-file format); load probes for it so a server
+// cache is accepted directly as a report source.
+const cacheSchema = "bgpsimd-cache/v1"
+
+// cacheToReport converts a bgpsimd cache file into the report shape: cached
+// entries record the wall-clock cost of their original cold miss, so
+// grouping by experiment and summing compute_ms yields per-experiment
+// wall-clock figures comparable to a workers=1 bgpbench run of the same
+// experiments. Entries are unordered in principle, so experiments are
+// emitted sorted by ID for deterministic output.
+func cacheToReport(blob []byte) (*report, bool) {
+	var f struct {
+		Schema  string `json:"schema"`
+		Entries []struct {
+			Experiment string  `json:"experiment"`
+			ComputeMS  float64 `json:"compute_ms"`
+		} `json:"entries"`
+	}
+	if json.Unmarshal(blob, &f) != nil || f.Schema != cacheSchema {
+		return nil, false
+	}
+	byExp := make(map[string]float64)
+	for _, e := range f.Entries {
+		byExp[e.Experiment] += e.ComputeMS
+	}
+	ids := make([]string, 0, len(byExp))
+	for id := range byExp {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	r := &report{Workers: 1} // per-cell costs sum as if computed serially
+	for _, id := range ids {
+		r.Experiments = append(r.Experiments, reportExperiment{ID: id, WallMS: byExp[id]})
+		r.TotalMS += byExp[id]
+	}
+	return r, true
+}
+
 func load(path string) (*report, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if r, ok := cacheToReport(blob); ok {
+		return r, nil
 	}
 	var r report
 	if err := json.Unmarshal(blob, &r); err != nil {

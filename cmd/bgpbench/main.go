@@ -85,54 +85,6 @@ type experimentTimes struct {
 	PeakHeapInuseBytes uint64 `json:"peak_heap_inuse_bytes"`
 }
 
-// heapSampler polls HeapInuse on a ticker while one experiment runs. The
-// sampling is best-effort — a spike between polls is missed — but at 10 ms
-// resolution the construction and measurement plateaus that matter dwarf the
-// interval. (This is a cmd package: goroutines here never run concurrently
-// with a simulation they share state with; the kernel runs inside
-// exp.Run on the main goroutine and the sampler only reads runtime stats.)
-type heapSampler struct {
-	stop chan struct{}
-	done chan struct{}
-	peak uint64
-}
-
-func startHeapSampler() *heapSampler {
-	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
-	go func() {
-		defer close(s.done)
-		t := time.NewTicker(10 * time.Millisecond)
-		defer t.Stop()
-		var ms runtime.MemStats
-		for {
-			select {
-			case <-s.stop:
-				return
-			case <-t.C:
-				runtime.ReadMemStats(&ms)
-				if ms.HeapInuse > s.peak {
-					s.peak = ms.HeapInuse
-				}
-			}
-		}
-	}()
-	return s
-}
-
-// Peak stops the sampler, folds in a final reading (so short experiments
-// that finish between ticks still report their end-state heap), and returns
-// the high water.
-func (s *heapSampler) Peak() uint64 {
-	close(s.stop)
-	<-s.done
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	if ms.HeapInuse > s.peak {
-		s.peak = ms.HeapInuse
-	}
-	return s.peak
-}
-
 // pgoProfile reports the PGO profile path the binary was built with, from
 // the embedded build info ("" when built without -pgo or when the binary
 // carries no build info, e.g. under `go test`).
@@ -249,7 +201,10 @@ func main() {
 		runtime.GC()
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
-		sampler := startHeapSampler()
+		// bench.StartHeapSampler joins its goroutine inside Peak, so no
+		// sampler outlives the experiment it is attributed to (the leak
+		// check lives in bench/heapsampler_test.go).
+		sampler := bench.StartHeapSampler()
 		start := time.Now()
 		fig, err := exp.Run(opts)
 		if err != nil {

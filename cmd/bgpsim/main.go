@@ -10,47 +10,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"bgpcoll"
 	"bgpcoll/internal/bench"
 	"bgpcoll/internal/data"
 	"bgpcoll/internal/hw"
 	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/serve/reqspec"
 	"bgpcoll/internal/trace"
 )
-
-func parseSize(s string) (int, error) {
-	s = strings.TrimSpace(strings.ToUpper(s))
-	mult := 1
-	switch {
-	case strings.HasSuffix(s, "M"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "M")
-	case strings.HasSuffix(s, "K"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "K")
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, fmt.Errorf("invalid size %q", s)
-	}
-	return n * mult, nil
-}
-
-func parseTorus(s string) (dx, dy, dz int, err error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) != 3 {
-		return 0, 0, 0, fmt.Errorf("torus must be DXxDYxDZ, got %q", s)
-	}
-	dims := make([]int, 3)
-	for i, p := range parts {
-		dims[i], err = strconv.Atoi(p)
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("torus dimension %q: %w", p, err)
-		}
-	}
-	return dims[0], dims[1], dims[2], nil
-}
 
 func main() {
 	op := flag.String("op", "bcast", "collective: bcast or allreduce")
@@ -71,39 +39,35 @@ func main() {
 	}
 	if *list {
 		fmt.Println("broadcast algorithms:")
-		for _, n := range mpi.BcastAlgorithms() {
+		for _, n := range reqspec.BcastAlgorithms() {
 			fmt.Println("  ", n)
 		}
 		fmt.Println("allreduce algorithms:")
-		fmt.Println("  ", mpi.AllreduceTorusNew)
-		fmt.Println("  ", mpi.AllreduceTorusCurrent)
+		for _, n := range reqspec.AllreduceAlgorithms() {
+			fmt.Println("  ", n)
+		}
 		return
 	}
 
-	msg, err := parseSize(*size)
+	msg, err := reqspec.ParseSize(*size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgpsim:", err)
 		os.Exit(2)
 	}
-	dx, dy, dz, err := parseTorus(*torus)
+	dx, dy, dz, err := reqspec.ParseTorus(*torus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(2)
+	}
+	nodeMode, err := reqspec.ParseMode(*mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgpsim:", err)
 		os.Exit(2)
 	}
 	cfg := hw.DefaultConfig()
 	cfg.Torus.DX, cfg.Torus.DY, cfg.Torus.DZ = dx, dy, dz
+	cfg.Mode = nodeMode
 	cfg.Functional = false
-	switch strings.ToLower(*mode) {
-	case "smp":
-		cfg.Mode = hw.SMP
-	case "dual":
-		cfg.Mode = hw.Dual
-	case "quad":
-		cfg.Mode = hw.Quad
-	default:
-		fmt.Fprintf(os.Stderr, "bgpsim: unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
 
 	w, err := mpi.NewWorld(cfg)
 	if err != nil {

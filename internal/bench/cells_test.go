@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"bgpcoll/internal/mpi"
+	"bgpcoll/internal/sim"
+)
+
+// TestPlanExperimentGrids pins the plan decomposition: every servable
+// experiment plans into a row-major grid whose cell count, labels, and sizes
+// match the figure metadata, without running anything.
+func TestPlanExperimentGrids(t *testing.T) {
+	for _, id := range PlannableExperiments() {
+		p, err := PlanExperiment(id, Options{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		nr, ns := len(p.Fig.Series), len(p.Fig.Sizes)
+		if nr == 0 || ns == 0 {
+			t.Fatalf("%s: empty plan (%d series, %d sizes)", id, nr, ns)
+		}
+		if len(p.Cells) != nr*ns {
+			t.Fatalf("%s: %d cells, want %d series x %d sizes", id, len(p.Cells), nr, ns)
+		}
+		for i, c := range p.Cells {
+			r, s := i/ns, i%ns
+			if c.Experiment != id {
+				t.Fatalf("%s cell %d: experiment %q", id, i, c.Experiment)
+			}
+			if c.Series != p.Fig.Series[r].Label {
+				t.Fatalf("%s cell %d: series %q, want %q", id, i, c.Series, p.Fig.Series[r].Label)
+			}
+			if c.Arg != p.Fig.Sizes[s] {
+				t.Fatalf("%s cell %d: arg %d, want size %d", id, i, c.Arg, p.Fig.Sizes[s])
+			}
+			if c.Iters != p.Fig.Iters {
+				t.Fatalf("%s cell %d: iters %d, want %d", id, i, c.Iters, p.Fig.Iters)
+			}
+			if err := c.Cfg.Validate(); err != nil {
+				t.Fatalf("%s cell %d: invalid config: %v", id, i, err)
+			}
+		}
+	}
+}
+
+func TestPlanExperimentUnknown(t *testing.T) {
+	for _, id := range []string{"figs", "ablation.colors", "nope"} {
+		if _, err := PlanExperiment(id, Options{}); err == nil {
+			t.Fatalf("PlanExperiment(%q) succeeded; want not-cell-decomposable error", id)
+		}
+	}
+}
+
+// TestCellRunMatchesMeasure pins that the exported cell entry point is the
+// same measurement the figure runners use.
+func TestCellRunMatchesMeasure(t *testing.T) {
+	cfg := tinyConfig()
+	c := Cell{Experiment: "adhoc", Series: "x", Cfg: cfg, Kind: CellBcast, Algo: mpi.BcastTorusShaddr, Arg: 64 << 10, Iters: 2}
+	got, err := c.Run(RunMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MeasureBcastRun(cfg, mpi.BcastTorusShaddr, 64<<10, 2, RunMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Cell.Run %d ps, MeasureBcastRun %d ps", int64(got), int64(want))
+	}
+
+	a := Cell{Experiment: "adhoc", Series: "x", Cfg: cfg, Kind: CellAllreduce, Algo: mpi.AllreduceTorusNew, Arg: 4096, Iters: 1}
+	gotA, err := a.Run(RunMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := MeasureAllreduceRun(cfg, mpi.AllreduceTorusNew, 4096, 1, RunMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA != wantA {
+		t.Fatalf("allreduce Cell.Run %d ps, MeasureAllreduceRun %d ps", int64(gotA), int64(wantA))
+	}
+	if a.Bytes() != 4096*8 {
+		t.Fatalf("allreduce Bytes() = %d, want %d", a.Bytes(), 4096*8)
+	}
+}
+
+// TestAssembleFillsRowMajor checks the times-to-figure mapping and that
+// value conversion happens per cell.
+func TestAssembleFillsRowMajor(t *testing.T) {
+	p, err := PlanExperiment("fig6", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]sim.Time, len(p.Cells))
+	for i := range times {
+		times[i] = sim.Time(i+1) * 1000
+	}
+	fig := p.Assemble(times)
+	ns := len(fig.Sizes)
+	for r := range fig.Series {
+		for s := range fig.Series[r].Values {
+			want := p.Value(p.Cells[r*ns+s], times[r*ns+s])
+			if fig.Series[r].Values[s] != want {
+				t.Fatalf("series %d size %d: %v, want %v", r, s, fig.Series[r].Values[s], want)
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"bgpcoll/internal/data"
 	"bgpcoll/internal/hw"
 	"bgpcoll/internal/mpi"
 	"bgpcoll/internal/sim"
@@ -17,35 +16,42 @@ type bcastRow struct {
 	Algo  string
 }
 
-// bcastGrid measures every (row, size) cell of a broadcast figure. Each cell
-// is an independent deterministic kernel run, so the grid fans across the
-// sweep runner's worker pool; values land in fixed (row, size) slots
-// regardless of completion order.
-func bcastGrid(o Options, rows []bcastRow, sizes []int, iters int, toValue func(msg int, t sim.Time) float64) ([]Series, error) {
-	series := make([]Series, len(rows))
-	for r := range series {
-		series[r] = Series{Label: rows[r].Label, Values: make([]float64, len(sizes))}
-	}
-	err := parallelEach(o.Workers, len(rows)*len(sizes), func(i int) error {
-		r, s := i/len(sizes), i%len(sizes)
-		t, err := MeasureBcastRun(rows[r].Cfg, rows[r].Algo, sizes[s], iters, RunMode{Reference: o.Reference, NoShard: o.NoShard})
-		if err != nil {
-			return fmt.Errorf("%s @ %s: %w", rows[r].Label, SizeLabel(sizes[s]), err)
+// bcastPlan builds the row-major cell grid for a broadcast figure. fig
+// arrives with metadata and Sizes set; the series labels are derived from
+// the rows and the values stay empty until Assemble.
+func bcastPlan(id string, fig Figure, rows []bcastRow, iters int, value func(c Cell, t sim.Time) float64) *FigurePlan {
+	fig.Iters = iters
+	fig.Series = make([]Series, len(rows))
+	cells := make([]Cell, 0, len(rows)*len(fig.Sizes))
+	for r, row := range rows {
+		fig.Series[r] = Series{Label: row.Label}
+		for _, size := range fig.Sizes {
+			cells = append(cells, Cell{
+				Experiment: id,
+				Series:     row.Label,
+				Cfg:        row.Cfg,
+				Kind:       CellBcast,
+				Algo:       row.Algo,
+				Arg:        size,
+				Iters:      iters,
+			})
 		}
-		series[r].Values[s] = toValue(sizes[s], t)
-		return nil
-	})
-	return series, err
+	}
+	return &FigurePlan{Fig: fig, Cells: cells, value: value}
 }
 
-func latencyUS(_ int, t sim.Time) float64 { return t.Microseconds() }
+func latencyUS(_ Cell, t sim.Time) float64 { return t.Microseconds() }
 
-// Fig6 reproduces "Latency of MPI Bcast" over the collective network: short
-// messages, quad mode, comparing the shared-memory algorithm, the DMA FIFO
-// algorithm, and the SMP-mode hardware reference.
-func Fig6(o Options) (*Figure, error) {
+// bandwidth is the MB/s conversion shared by every throughput figure; it
+// works for allreduce cells too because Cell.Bytes already accounts for the
+// doubles axis.
+func bandwidth(c Cell, t sim.Time) float64 { return BandwidthMBs(c.Bytes(), t) }
+
+// planFig6 decomposes "Latency of MPI Bcast" over the collective network:
+// short messages, quad mode, comparing the shared-memory algorithm, the DMA
+// FIFO algorithm, and the SMP-mode hardware reference.
+func planFig6(o Options) (*FigurePlan, error) {
 	sizes := sweep(o.Quick, []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, 8)
-	iters := o.iters(3)
 	quad, err := treeConfig(o, hw.Quad)
 	if err != nil {
 		return nil, err
@@ -54,35 +60,33 @@ func Fig6(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{
+	return bcastPlan("fig6", Figure{
 		ID:     "Fig6",
 		Title:  fmt.Sprintf("Latency of MPI_Bcast, collective network, %d ranks", quad.Ranks()),
 		XLabel: "size",
 		YLabel: "latency (us)",
 		Ranks:  quad.Ranks(),
-		Iters:  iters,
 		Sizes:  sizes,
-	}
-	fig.Series, err = bcastGrid(o, []bcastRow{
+	}, []bcastRow{
 		{"CollectiveNetwork+Shmem", quad, mpi.BcastTreeShmem},
 		{"CollectiveNetwork+DMA FIFO", quad, mpi.BcastTreeDMAFIFO},
 		{"CollectiveNetwork (SMP)", smp, mpi.BcastTreeSMP},
-	}, sizes, iters, latencyUS)
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	}, o.iters(3), latencyUS), nil
 }
 
-// Fig7 reproduces "Bandwidth of MPI Bcast" over the collective network:
+// Fig6 reproduces planFig6's figure in-process.
+func Fig6(o Options) (*Figure, error) {
+	return runPlanned(o, planFig6)
+}
+
+// planFig7 decomposes "Bandwidth of MPI Bcast" over the collective network:
 // medium and large messages, comparing the shared-address algorithm against
 // the DMA-based quad algorithms and the SMP reference.
-func Fig7(o Options) (*Figure, error) {
+func planFig7(o Options) (*FigurePlan, error) {
 	sizes := sweep(o.Quick, []int{
 		1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10,
 		256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
 	}, 128<<10)
-	iters := o.iters(3) // amortize one-time window mappings, like the paper's ITERS loop
 	quad, err := treeConfig(o, hw.Quad)
 	if err != nil {
 		return nil, err
@@ -91,70 +95,67 @@ func Fig7(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{
+	// iters amortizes one-time window mappings, like the paper's ITERS loop.
+	return bcastPlan("fig7", Figure{
 		ID:     "Fig7",
 		Title:  fmt.Sprintf("Bandwidth of MPI_Bcast, collective network, %d ranks", quad.Ranks()),
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
 		Ranks:  quad.Ranks(),
-		Iters:  iters,
 		Sizes:  sizes,
-	}
-	fig.Series, err = bcastGrid(o, []bcastRow{
+	}, []bcastRow{
 		{"CollectiveNetwork+Shaddr", quad, mpi.BcastTreeShaddr},
 		{"CollectiveNetwork+DMA FIFO", quad, mpi.BcastTreeDMAFIFO},
 		{"CollectiveNetwork+DMA Direct Put", quad, mpi.BcastTreeDMADirect},
 		{"CollectiveNetwork (SMP)", smp, mpi.BcastTreeSMP},
-	}, sizes, iters, BandwidthMBs)
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	}, o.iters(3), bandwidth), nil
 }
 
-// Fig8 reproduces the system-call overhead study: the shared-address tree
-// broadcast with and without the buffer-mapping cache. Multiple iterations
-// with the same buffers amortize the process-window system calls only when
-// caching is enabled.
-func Fig8(o Options) (*Figure, error) {
+// Fig7 reproduces planFig7's figure in-process.
+func Fig7(o Options) (*Figure, error) {
+	return runPlanned(o, planFig7)
+}
+
+// planFig8 decomposes the system-call overhead study: the shared-address
+// tree broadcast with and without the buffer-mapping cache. Multiple
+// iterations with the same buffers amortize the process-window system calls
+// only when caching is enabled.
+func planFig8(o Options) (*FigurePlan, error) {
 	sizes := sweep(o.Quick, []int{
 		1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10,
 		256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
 	}, 1<<10)
-	iters := o.iters(4)
 	cached, err := treeConfig(o, hw.Quad)
 	if err != nil {
 		return nil, err
 	}
 	nocache := cached
 	nocache.Params.MapCacheEnabled = false
-	fig := &Figure{
+	return bcastPlan("fig8", Figure{
 		ID:     "Fig8",
 		Title:  fmt.Sprintf("Overhead of system calls, %d ranks", cached.Ranks()),
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
 		Ranks:  cached.Ranks(),
-		Iters:  iters,
 		Sizes:  sizes,
-	}
-	fig.Series, err = bcastGrid(o, []bcastRow{
+	}, []bcastRow{
 		{"CollectiveNetwork+Shaddr+caching", cached, mpi.BcastTreeShaddr},
 		{"CollectiveNetwork+Shaddr+nocaching", nocache, mpi.BcastTreeShaddr},
-	}, sizes, iters, BandwidthMBs)
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	}, o.iters(4), bandwidth), nil
 }
 
-// Fig9 reproduces the scaling study: the shared-address tree broadcast at
-// 1024, 2048, 4096 and 8192 ranks. The collective network's bandwidth is
+// Fig8 reproduces planFig8's figure in-process.
+func Fig8(o Options) (*Figure, error) {
+	return runPlanned(o, planFig8)
+}
+
+// planFig9 decomposes the scaling study: the shared-address tree broadcast
+// at 1024, 2048, 4096 and 8192 ranks. The collective network's bandwidth is
 // scale-invariant; only the traversal latency grows.
-func Fig9(o Options) (*Figure, error) {
+func planFig9(o Options) (*FigurePlan, error) {
 	sizes := sweep(o.Quick, []int{
 		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
 	}, 4<<20)
-	iters := o.iters(3)
 	geoms := []struct {
 		ranks int
 		torus [3]int
@@ -163,15 +164,6 @@ func Fig9(o Options) (*Figure, error) {
 		{2048, [3]int{8, 8, 8}},
 		{4096, [3]int{8, 8, 16}},
 		{8192, [3]int{16, 8, 16}},
-	}
-	fig := &Figure{
-		ID:     "Fig9",
-		Title:  "Performance with increasing scale (CollectiveNetwork+Shaddr)",
-		XLabel: "size",
-		YLabel: "bandwidth (MB/s)",
-		Ranks:  geoms[len(geoms)-1].ranks,
-		Iters:  iters,
-		Sizes:  sizes,
 	}
 	rows := make([]bcastRow, len(geoms))
 	for i, g := range geoms {
@@ -182,22 +174,28 @@ func Fig9(o Options) (*Figure, error) {
 		cfg.Shards = o.Shards
 		rows[i] = bcastRow{fmt.Sprintf("CollectiveNetwork+Shaddr(%d)", g.ranks), cfg, mpi.BcastTreeShaddr}
 	}
-	var err error
-	fig.Series, err = bcastGrid(o, rows, sizes, iters, BandwidthMBs)
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	return bcastPlan("fig9", Figure{
+		ID:     "Fig9",
+		Title:  "Performance with increasing scale (CollectiveNetwork+Shaddr)",
+		XLabel: "size",
+		YLabel: "bandwidth (MB/s)",
+		Ranks:  geoms[len(geoms)-1].ranks,
+		Sizes:  sizes,
+	}, rows, o.iters(3), bandwidth), nil
 }
 
-// Fig10 reproduces "Bandwidth of MPI Bcast" over the torus: large messages,
-// comparing the shared-address and Bcast-FIFO algorithms against the DMA
-// direct-put broadcast in quad and SMP modes.
-func Fig10(o Options) (*Figure, error) {
+// Fig9 reproduces planFig9's figure in-process.
+func Fig9(o Options) (*Figure, error) {
+	return runPlanned(o, planFig9)
+}
+
+// planFig10 decomposes "Bandwidth of MPI Bcast" over the torus: large
+// messages, comparing the shared-address and Bcast-FIFO algorithms against
+// the DMA direct-put broadcast in quad and SMP modes.
+func planFig10(o Options) (*FigurePlan, error) {
 	sizes := sweep(o.Quick, []int{
 		64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
 	}, 2<<20, 4<<20)
-	iters := o.iters(1)
 	quad, err := torusConfig(o, hw.Quad)
 	if err != nil {
 		return nil, err
@@ -206,37 +204,37 @@ func Fig10(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{
+	return bcastPlan("fig10", Figure{
 		ID:     "Fig10",
 		Title:  fmt.Sprintf("Bandwidth of MPI_Bcast, 3D torus, %d ranks", quad.Ranks()),
 		XLabel: "size",
 		YLabel: "bandwidth (MB/s)",
 		Ranks:  quad.Ranks(),
-		Iters:  iters,
 		Sizes:  sizes,
-	}
-	fig.Series, err = bcastGrid(o, []bcastRow{
+	}, []bcastRow{
 		{"Torus+Shaddr", quad, mpi.BcastTorusShaddr},
 		{"Torus+FIFO", quad, mpi.BcastTorusFIFO},
 		{"Torus Direct Put", quad, mpi.BcastTorusDirectPut},
 		{"Torus Direct Put(SMP)", smp, mpi.BcastTorusDirectPut},
-	}, sizes, iters, BandwidthMBs)
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+	}, o.iters(1), bandwidth), nil
 }
 
-// Table1 reproduces "Allreduce throughput": doubles counts from 16K to 512K,
-// the proposed core-specialized algorithm against the current DMA-based one.
-func Table1(o Options) (*Figure, error) {
+// Fig10 reproduces planFig10's figure in-process.
+func Fig10(o Options) (*Figure, error) {
+	return runPlanned(o, planFig10)
+}
+
+// planTable1 decomposes "Allreduce throughput": doubles counts from 16K to
+// 512K, the proposed core-specialized algorithm against the current
+// DMA-based one.
+func planTable1(o Options) (*FigurePlan, error) {
 	doubleCounts := sweep(o.Quick, []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}, 512<<10)
 	iters := o.iters(1)
 	cfg, err := torusConfig(o, hw.Quad)
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{
+	fig := Figure{
 		ID:     "TableI",
 		Title:  fmt.Sprintf("Allreduce throughput (doubles), 3D torus, %d ranks", cfg.Ranks()),
 		XLabel: "doubles",
@@ -253,23 +251,36 @@ func Table1(o Options) (*Figure, error) {
 		{"Current (MB/s)", mpi.AllreduceTorusCurrent},
 	}
 	fig.Series = make([]Series, len(rows))
-	for r := range rows {
-		fig.Series[r] = Series{Label: rows[r].label, Values: make([]float64, len(doubleCounts))}
-	}
-	err = parallelEach(o.Workers, len(rows)*len(doubleCounts), func(i int) error {
-		r, s := i/len(doubleCounts), i%len(doubleCounts)
-		doubles := doubleCounts[s]
-		t, err := MeasureAllreduceRun(cfg, rows[r].algo, doubles, iters, RunMode{Reference: o.Reference, NoShard: o.NoShard})
-		if err != nil {
-			return err
+	cells := make([]Cell, 0, len(rows)*len(doubleCounts))
+	for r, row := range rows {
+		fig.Series[r] = Series{Label: row.label}
+		for _, doubles := range doubleCounts {
+			cells = append(cells, Cell{
+				Experiment: "table1",
+				Series:     row.label,
+				Cfg:        cfg,
+				Kind:       CellAllreduce,
+				Algo:       row.algo,
+				Arg:        doubles,
+				Iters:      iters,
+			})
 		}
-		fig.Series[r].Values[s] = BandwidthMBs(doubles*data.Float64Len, t)
-		return nil
-	})
+	}
+	return &FigurePlan{Fig: fig, Cells: cells, value: bandwidth}, nil
+}
+
+// Table1 reproduces planTable1's figure in-process.
+func Table1(o Options) (*Figure, error) {
+	return runPlanned(o, planTable1)
+}
+
+// runPlanned plans and runs one figure on the in-process sweep runner.
+func runPlanned(o Options, plan func(Options) (*FigurePlan, error)) (*Figure, error) {
+	p, err := plan(o)
 	if err != nil {
 		return nil, err
 	}
-	return fig, nil
+	return runPlan(o, p)
 }
 
 // namedExperiment binds an experiment id to its runner.

@@ -1,0 +1,73 @@
+// Heap-footprint sampling for experiment reports. This lives in bench (not
+// cmd/bgpbench) so the shutdown protocol is testable: the sampler goroutine
+// must be provably gone between experiments — joined, not just signalled —
+// or a long sweep accumulates one ticker goroutine per experiment, each
+// calling ReadMemStats (a stop-the-world point) forever.
+//
+// This file is a bgplint-sanctioned goroutine launch site and wall-clock
+// site: the sampler only reads runtime statistics on a real-time ticker and
+// never touches simulation state, so it can shape no virtual-time event
+// ordering; the kernel runs on the caller's goroutine while the sampler
+// polls.
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// heapSampleInterval is the polling resolution. Sampling is best-effort — a
+// spike between polls is missed — but at 10 ms the construction and
+// measurement plateaus that matter dwarf the interval.
+const heapSampleInterval = 10 * time.Millisecond
+
+// HeapSampler polls runtime.MemStats.HeapInuse while one experiment runs and
+// remembers the high water. Create with StartHeapSampler, collect with Peak.
+type HeapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+	peak uint64
+}
+
+// StartHeapSampler launches the sampling goroutine.
+func StartHeapSampler() *HeapSampler {
+	s := &HeapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(heapSampleInterval)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > s.peak {
+					s.peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// Peak shuts the sampler down — signalling the goroutine AND joining it, so
+// no sampling outlives the experiment it was attributed to — folds in a
+// final reading (short experiments that finish between ticks still report
+// their end-state heap), and returns the high water. Peak is idempotent:
+// repeated calls return the same value without touching the channels again.
+func (s *HeapSampler) Peak() uint64 {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.done
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapInuse > s.peak {
+			s.peak = ms.HeapInuse
+		}
+	})
+	return s.peak
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestHeapSamplerJoins is the leak check for the sampler shutdown protocol:
+// after Peak returns, the sampling goroutine has been joined, so repeated
+// start/stop cycles leave the process goroutine count where it started. A
+// signal-without-join bug shows up here as +cycles goroutines.
+func TestHeapSamplerJoins(t *testing.T) {
+	const cycles = 50
+	before := runtime.NumGoroutine()
+	for i := 0; i < cycles; i++ {
+		s := StartHeapSampler()
+		first := s.Peak()
+		if again := s.Peak(); again != first {
+			t.Fatalf("Peak not idempotent: first %d, repeat %d", first, again)
+		}
+		if first == 0 {
+			t.Fatal("Peak reported a zero heap; the final fold-in reading is missing")
+		}
+	}
+	// Peak joins on s.done, but the goroutine closes that channel in a defer
+	// and may still be unwinding when Peak returns; yield until the runtime
+	// has retired it rather than sleeping.
+	for i := 0; i < 10000 && runtime.NumGoroutine() > before; i++ {
+		runtime.Gosched()
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked across %d sampler cycles: %d before, %d after", cycles, before, after)
+	}
+}

@@ -61,11 +61,12 @@ func TestParallelSweepDeterminism(t *testing.T) {
 	}
 	sizes := []int{4 << 10, 64 << 10}
 	grid := func(workers int) []Series {
-		s, err := bcastGrid(Options{Workers: workers}, rows, sizes, 1, BandwidthMBs)
+		p := bcastPlan("adhoc", Figure{Sizes: sizes}, rows, 1, bandwidth)
+		fig, err := runPlan(Options{Workers: workers}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s
+		return fig.Series
 	}
 	serial := grid(1)
 	parallel := grid(8)

@@ -119,6 +119,32 @@ func TestRawGoroutineMachineSite(t *testing.T) {
 	runFixture(t, RawGoroutine, "bgpcoll/internal/machine", "testdata/rawgoroutine_machine")
 }
 
+// TestRawGoroutineServeSite checks the bgpsimd worker-pool sanction: pool.go
+// under bgpcoll/internal/serve may launch workers, any sibling file may not.
+func TestRawGoroutineServeSite(t *testing.T) {
+	runFixture(t, RawGoroutine, "bgpcoll/internal/serve", "testdata/rawgoroutine_serve")
+}
+
+// TestRawGoroutineServeSiteIsPathSpecific reloads the serve fixture under a
+// collective import path: pool.go loses its exemption there, adding its go
+// statement to the one always-flagged site.
+func TestRawGoroutineServeSiteIsPathSpecific(t *testing.T) {
+	pkg, err := testLoader(t).LoadFixture("testdata/rawgoroutine_serve", "bgpcoll/internal/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{RawGoroutine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2 (pool.go exemption must be path-specific):", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
 // TestSimDeterminismProgramFrameSite checks the frame-mutation exemption is
 // file-specific: the identical assignments are clean in program.go under
 // bgpcoll/internal/sim and flagged in any sibling file.
@@ -134,8 +160,8 @@ func TestSimDeterminismWallClockSite(t *testing.T) {
 }
 
 // TestWallClockSanctionIsPathSpecific loads the same fixture under another
-// import path: figs.go loses its exemption and all three wall-clock reads
-// are flagged.
+// import path: figs.go and heapsampler.go lose their exemptions and all
+// five wall-clock reads are flagged.
 func TestWallClockSanctionIsPathSpecific(t *testing.T) {
 	pkg, err := testLoader(t).LoadFixture("testdata/simdeterminism_bench", "bgpcoll/internal/coll")
 	if err != nil {
@@ -145,8 +171,8 @@ func TestWallClockSanctionIsPathSpecific(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 3 {
-		t.Errorf("got %d diagnostics, want 3 (figs.go exemption must be path-specific):", len(diags))
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5 (figs.go/heapsampler.go exemptions must be path-specific):", len(diags))
 		for _, d := range diags {
 			t.Logf("  %s", d)
 		}
@@ -232,8 +258,9 @@ func TestSanctionedGoFileIsExactlyOne(t *testing.T) {
 		}
 	}
 
-	// Same for the bench sweep-runner site: parallel.go is only exempt under
-	// bgpcoll/internal/bench.
+	// Same for the bench sites: parallel.go and heapsampler.go are only
+	// exempt under bgpcoll/internal/bench, so their two go statements join
+	// the one always-flagged site.
 	pkg, err = testLoader(t).LoadFixture("testdata/rawgoroutine_bench", "bgpcoll/internal/coll")
 	if err != nil {
 		t.Fatal(err)
@@ -242,8 +269,8 @@ func TestSanctionedGoFileIsExactlyOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 2 {
-		t.Errorf("got %d diagnostics, want 2 (parallel.go exemption must be path-specific):", len(diags))
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (parallel.go/heapsampler.go exemptions must be path-specific):", len(diags))
 		for _, d := range diags {
 			t.Logf("  %s", d)
 		}

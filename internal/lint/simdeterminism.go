@@ -66,10 +66,11 @@ func isProcProgFrame(pass *Pass, sel *ast.SelectorExpr) bool {
 // wallClockSanctioned lists, per simulator-driven import path, the files
 // allowed to read the wall clock: meta-measurement sites that time the
 // simulator itself — world construction cost, the figS capacity sweep's
-// wall-clock columns — rather than anything the virtual clock observes.
-// Reads there bracket whole kernel runs and can shape no event ordering.
+// wall-clock columns, the heap sampler's real-time polling ticker — rather
+// than anything the virtual clock observes. Reads there bracket whole
+// kernel runs and can shape no event ordering.
 var wallClockSanctioned = map[string]map[string]bool{
-	"bgpcoll/internal/bench": {"figs.go": true, "figs_test.go": true},
+	"bgpcoll/internal/bench": {"figs.go": true, "figs_test.go": true, "heapsampler.go": true},
 }
 
 // bannedTimeFuncs are the package time functions that read or wait on the

@@ -1,0 +1,13 @@
+package bench
+
+// This file mirrors the third sanctioned launch site
+// internal/bench/heapsampler.go: the sampler goroutine polls runtime memory
+// statistics only and is joined before its experiment reports, so the
+// analyzer exempts go statements here (and only here) within
+// bgpcoll/internal/bench.
+func sanctionedSampler(stop <-chan struct{}, done chan<- struct{}) {
+	go func() {
+		<-stop
+		close(done)
+	}()
+}

@@ -1,0 +1,13 @@
+package serve
+
+// This file mirrors the sanctioned launch site internal/serve/pool.go: the
+// bgpsimd worker pool runs whole, independent cell simulations and joins
+// its workers on Close, so the analyzer exempts go statements here (and
+// only here) within bgpcoll/internal/serve.
+func sanctionedPoolWorker(work <-chan func()) {
+	go func() {
+		for job := range work {
+			job()
+		}
+	}()
+}

@@ -1,0 +1,11 @@
+package bench
+
+import "time"
+
+// heapsampler.go is a sanctioned wall-clock site under
+// bgpcoll/internal/bench: the heap sampler polls runtime statistics on a
+// real-time ticker, bracketing whole kernel runs without shaping any event
+// ordering.
+func sanctionedSamplerTicker() (time.Time, *time.Ticker) {
+	return time.Now(), time.NewTicker(10 * time.Millisecond)
+}

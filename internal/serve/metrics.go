@@ -1,0 +1,111 @@
+// Prometheus-style metrics, stdlib only: the text exposition format is plain
+// lines, so there is nothing to depend on. Counters are atomics (hot path:
+// every cell classification touches one); histograms take a mutex (they are
+// touched once per computed cell, which costs milliseconds anyway).
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBucketsMS are the per-experiment compute-latency histogram bounds
+// in milliseconds. Cells span ~1 ms (tiny functional configs) to seconds
+// (full two-rack partitions), so the buckets are log-spaced across that.
+var latencyBucketsMS = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
+
+// histogram is one cumulative Prometheus histogram.
+type histogram struct {
+	counts []uint64 // per bucket, non-cumulative; rendered cumulatively
+	inf    uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *histogram) observe(ms float64) {
+	h.sum += ms
+	h.n++
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Metrics is the server's instrumentation: cache effectiveness counters,
+// queue pressure gauges, and per-experiment compute-latency histograms.
+type Metrics struct {
+	Hits      atomic.Int64 // cells answered from the store
+	Misses    atomic.Int64 // cells that required a kernel run
+	Coalesced atomic.Int64 // cells that joined an in-flight identical miss
+	Rejected  atomic.Int64 // requests refused with 429 (queue or client quota)
+
+	QueueDepth atomic.Int64 // cells currently enqueued, not yet running
+	InFlight   atomic.Int64 // cells currently executing on workers
+
+	mu      sync.Mutex
+	latency map[string]*histogram // by experiment id
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics { return &Metrics{latency: make(map[string]*histogram)} }
+
+// ObserveCompute records the wall-clock cost of one computed (miss) cell.
+func (m *Metrics) ObserveCompute(experiment string, ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[experiment]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBucketsMS))}
+		m.latency[experiment] = h
+	}
+	h.observe(ms)
+}
+
+// WriteTo renders the Prometheus text exposition format. Families and label
+// values are emitted in sorted order so scrapes are deterministic.
+func (m *Metrics) WriteTo(w io.Writer, store *Store) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("bgpsimd_cache_hits_total", "Cells answered from the content-addressed store.", m.Hits.Load())
+	counter("bgpsimd_cache_misses_total", "Cells that required a kernel run.", m.Misses.Load())
+	counter("bgpsimd_cache_coalesced_total", "Cells that joined an identical in-flight computation.", m.Coalesced.Load())
+	counter("bgpsimd_rejected_total", "Requests refused for backpressure (HTTP 429).", m.Rejected.Load())
+	gauge("bgpsimd_queue_depth", "Cells enqueued and waiting for a worker.", m.QueueDepth.Load())
+	gauge("bgpsimd_inflight", "Cells currently executing.", m.InFlight.Load())
+	if store != nil {
+		gauge("bgpsimd_cache_entries", "Measurements in the store.", int64(store.Len()))
+	}
+
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.latency))
+	for id := range m.latency {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	const hn = "bgpsimd_compute_latency_ms"
+	if len(ids) > 0 {
+		fmt.Fprintf(w, "# HELP %s Wall-clock cost of computed cells.\n# TYPE %s histogram\n", hn, hn)
+	}
+	for _, id := range ids {
+		h := m.latency[id]
+		var cum uint64
+		for i, ub := range latencyBucketsMS {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"%g\"} %d\n", hn, id, ub, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"+Inf\"} %d\n", hn, id, cum+h.inf)
+		fmt.Fprintf(w, "%s_sum{experiment=%q} %g\n", hn, id, h.sum)
+		fmt.Fprintf(w, "%s_count{experiment=%q} %d\n", hn, id, h.n)
+	}
+	m.mu.Unlock()
+}

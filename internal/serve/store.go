@@ -1,0 +1,128 @@
+// The content-addressed result store. Values are virtual times in
+// picoseconds — not response bodies — so every endpoint that can phrase its
+// work as cells (single runs, sweeps, whole figures) shares one cache, and a
+// batch request with partial overlap hits cell by cell. Response bodies are
+// rebuilt from entries through pure conversions, which keeps a warm response
+// byte-identical to the cold one.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// cacheSchema identifies the persisted cache file format. cmd/benchdiff
+// probes for it to accept a cache file as a report source.
+const cacheSchema = "bgpsimd-cache/v1"
+
+// Entry is one cached measurement. Canon is carried in full (not just the
+// digest) so a persisted cache is auditable and so Load can reject entries
+// whose key does not match their content — a corrupted or hand-edited file
+// degrades to misses, never to wrong answers.
+type Entry struct {
+	Key        string  `json:"key"`
+	Canon      string  `json:"canon"`
+	Experiment string  `json:"experiment"` // experiment id of the first requester (reporting only)
+	Series     string  `json:"series"`     // curve label of the first requester (reporting only)
+	PS         int64   `json:"ps"`         // measured virtual time, picoseconds
+	ComputeMS  float64 `json:"compute_ms"` // wall-clock cost of the original miss
+}
+
+// Store is the in-memory content-addressed map plus its persistence format.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{entries: make(map[string]Entry)} }
+
+// Get returns the entry for key, if present.
+func (s *Store) Get(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Put records an entry. First write wins: the kernel is deterministic, so a
+// second computation of the same key carries the same PS and differs only in
+// incidental wall-clock, and keeping the first preserves the cold-miss cost
+// the metrics already counted.
+func (s *Store) Put(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[e.Key]; !ok {
+		s.entries[e.Key] = e
+	}
+}
+
+// Len returns the number of cached measurements.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Snapshot returns all entries sorted by key — the deterministic order used
+// by Save and by benchdiff reports.
+func (s *Store) Snapshot() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// cacheFile is the on-disk shape (-cache-file flag).
+type cacheFile struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// Save writes the store as indented JSON, atomically (write temp + rename),
+// so a crash mid-save leaves the previous file intact.
+func (s *Store) Save(path string) error {
+	data, err := json.MarshalIndent(cacheFile{Schema: cacheSchema, Entries: s.Snapshot()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load merges entries from a persisted cache file into the store. Entries
+// whose key does not re-derive from their canonical form are skipped: they
+// can only be corruption or a stale key scheme, and a skipped entry is just
+// a future miss. Returns the number of entries accepted.
+func (s *Store) Load(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("cache file %s: %w", path, err)
+	}
+	if f.Schema != cacheSchema {
+		return 0, fmt.Errorf("cache file %s: schema %q, want %q", path, f.Schema, cacheSchema)
+	}
+	n := 0
+	for _, e := range f.Entries {
+		if rederiveKey(e.Canon) != e.Key {
+			continue
+		}
+		s.Put(e)
+		n++
+	}
+	return n, nil
+}

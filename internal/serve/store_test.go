@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func testEntry(t *testing.T, arg int) Entry {
+	t.Helper()
+	c := testCell()
+	c.Arg = arg
+	return Entry{
+		Key: KeyCell(c), Canon: CanonicalCell(c),
+		Experiment: c.Experiment, Series: c.Series,
+		PS: int64(arg) * 1000, ComputeMS: 1.5,
+	}
+}
+
+func TestStorePutGetFirstWriteWins(t *testing.T) {
+	s := NewStore()
+	e := testEntry(t, 1024)
+	s.Put(e)
+	dup := e
+	dup.PS, dup.ComputeMS = e.PS, 99 // same answer, different wall-clock
+	s.Put(dup)
+	got, ok := s.Get(e.Key)
+	if !ok || got.ComputeMS != 1.5 {
+		t.Fatalf("Get = %+v, %v; want the first write", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreSaveLoadRoundtrip(t *testing.T) {
+	s := NewStore()
+	for _, arg := range []int{1, 64 << 10, 2 << 20} {
+		s.Put(testEntry(t, arg))
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStore()
+	n, err := fresh.Load(path)
+	if err != nil || n != 3 {
+		t.Fatalf("Load = %d, %v; want 3", n, err)
+	}
+	for _, e := range s.Snapshot() {
+		got, ok := fresh.Get(e.Key)
+		if !ok || got != e {
+			t.Fatalf("entry %s did not round-trip: %+v vs %+v", e.Key, got, e)
+		}
+	}
+	snap := fresh.Snapshot()
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Key < snap[j].Key }) {
+		t.Fatal("Snapshot not sorted by key")
+	}
+}
+
+// TestStoreLoadRejectsTamperedEntries pins the degrade-to-miss property: an
+// entry whose key does not re-derive from its canonical form is skipped, so
+// a corrupted cache file can cost time but never correctness.
+func TestStoreLoadRejectsTamperedEntries(t *testing.T) {
+	s := NewStore()
+	good := testEntry(t, 1024)
+	bad := testEntry(t, 2048)
+	bad.Canon += "tampered=1\n" // key no longer matches content
+	path := filepath.Join(t.TempDir(), "cache.json")
+	data, _ := json.Marshal(cacheFile{Schema: cacheSchema, Entries: []Entry{good, bad}})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Load(path)
+	if err != nil || n != 1 {
+		t.Fatalf("Load = %d, %v; want 1 accepted", n, err)
+	}
+	if _, ok := s.Get(bad.Key); ok {
+		t.Fatal("tampered entry accepted")
+	}
+}
+
+func TestStoreLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	data, _ := json.Marshal(cacheFile{Schema: "something/else"})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore().Load(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
