@@ -40,7 +40,14 @@ import (
 // are zero in reports from before bgpbench recorded memstats; the alloc gate
 // skips such rows rather than comparing against nothing.
 type reportExperiment struct {
-	ID         string  `json:"id"`
+	ID string `json:"id"`
+	// Iters/ItersScale identify how many measure-loop iterations the row's
+	// wall-clock covers (zero in reports from before bgpbench stamped them;
+	// a zero scale means the pre-scale default of 1). Rows measured at
+	// different iteration counts are not wall-clock comparable, so diff
+	// warns per experiment on a mismatch.
+	Iters      int     `json:"iters"`
+	ItersScale int     `json:"iters_scale"`
 	WallMS     float64 `json:"wall_ms"`
 	AllocBytes uint64  `json:"alloc_bytes"`
 	Allocs     uint64  `json:"allocs"`
@@ -74,8 +81,14 @@ type report struct {
 	// reports from before bgpbench stamped them, which is also the classic
 	// single-shard vehicle). A vehicle mismatch shifts wall-clock without a
 	// code change, so benchdiff warns about it like the GC fields above.
-	Shards      int                `json:"shards"`
-	NoShard     bool               `json:"noshard"`
+	Shards  int  `json:"shards"`
+	NoShard bool `json:"noshard"`
+	// ItersScale/NoExtrap are the run's iteration multiplier and whether
+	// steady-state extrapolation was disabled (zero values in older reports;
+	// a zero ItersScale means the pre-scale default of 1). Either changes
+	// what a wall-clock measures, so mismatches warn like the fields above.
+	ItersScale  int                `json:"iters_scale"`
+	NoExtrap    bool               `json:"noextrap"`
 	GitCommit   string             `json:"git_commit"`
 	Timestamp   string             `json:"timestamp_utc"`
 	TotalMS     float64            `json:"total_ms"`
@@ -101,6 +114,12 @@ func (r *report) describe() string {
 		if r.NoShard {
 			s += " noshard"
 		}
+	}
+	if r.ItersScale > 1 {
+		s += fmt.Sprintf(" iters-scale=%d", r.ItersScale)
+	}
+	if r.NoExtrap {
+		s += " noextrap"
 	}
 	if r.GitCommit != "" {
 		s += " commit=" + r.GitCommit
@@ -223,6 +242,16 @@ func diff(base, cand *report, g gate) (rows []diffRow, warnings []string, regres
 					row.AllocBad = float64(c.AllocBytes) > float64(e.AllocBytes)*(1+g.Allocs)
 				}
 			}
+			if e.Iters > 0 && c.Iters > 0 && e.Iters != c.Iters {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: iteration count differs: baseline measured %d iters, candidate %d; wall-clocks cover different amounts of work",
+					e.ID, e.Iters, c.Iters))
+			}
+			if itersScaleOf(e.ItersScale) != itersScaleOf(c.ItersScale) {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: iters-scale differs: baseline ran at %dx, candidate at %dx; wall-clocks cover different amounts of work",
+					e.ID, itersScaleOf(e.ItersScale), itersScaleOf(c.ItersScale)))
+			}
 			if e.PeakHeap > 0 && c.PeakHeap > 0 &&
 				float64(c.PeakHeap) > float64(e.PeakHeap)*(1+peakHeapWarnFrac) {
 				warnings = append(warnings, fmt.Sprintf(
@@ -248,6 +277,15 @@ func diff(base, cand *report, g gate) (rows []diffRow, warnings []string, regres
 		}
 	}
 	return rows, warnings, regressed
+}
+
+// itersScaleOf normalizes a stored iters_scale: reports from before the
+// field (and runs that left the flag at its default) mean a 1x multiplier.
+func itersScaleOf(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return v
 }
 
 // memLimitStr renders a GOMEMLIMIT value ("off" for Go's no-limit marker).
@@ -297,6 +335,16 @@ func envWarnings(base, cand *report) []string {
 		warns = append(warns, fmt.Sprintf(
 			"epoch vehicle differs: baseline noshard=%t, candidate noshard=%t; wall-clock deltas reflect the kernel vehicle, not code",
 			base.NoShard, cand.NoShard))
+	}
+	if itersScaleOf(base.ItersScale) != itersScaleOf(cand.ItersScale) {
+		warns = append(warns, fmt.Sprintf(
+			"iters-scale differs: baseline ran at %dx iterations, candidate at %dx; wall-clocks cover different amounts of work",
+			itersScaleOf(base.ItersScale), itersScaleOf(cand.ItersScale)))
+	}
+	if base.NoExtrap != cand.NoExtrap {
+		warns = append(warns, fmt.Sprintf(
+			"extrapolation differs: baseline noextrap=%t, candidate noextrap=%t; wall-clock deltas reflect the measure-loop vehicle, not code",
+			base.NoExtrap, cand.NoExtrap))
 	}
 	return warns
 }

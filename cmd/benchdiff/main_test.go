@@ -174,6 +174,85 @@ func TestShardVehicleWarnings(t *testing.T) {
 	}
 }
 
+func TestItersVehicleWarnings(t *testing.T) {
+	mk := func(scale int, noExtrap bool) *report {
+		return &report{GOGC: 100, GOMemLimit: math.MaxInt64, ItersScale: scale, NoExtrap: noExtrap}
+	}
+	cases := []struct {
+		name       string
+		base, cand *report
+		want       []string
+	}{
+		{"identical", mk(1, false), mk(1, false), nil},
+		{"old report means 1x", mk(0, false), mk(1, false), nil},
+		{"iters-scale differs", mk(1, false), mk(32, false), []string{"baseline ran at 1x iterations, candidate at 32x"}},
+		{"extrapolation differs", mk(1, false), mk(1, true), []string{"baseline noextrap=false, candidate noextrap=true"}},
+		{"both differ", mk(0, true), mk(32, false), []string{"iters-scale differs", "extrapolation differs"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			warns := envWarnings(tc.base, tc.cand)
+			if len(warns) != len(tc.want) {
+				t.Fatalf("got %d warnings, want %d: %v", len(warns), len(tc.want), warns)
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(warns[i], sub) {
+					t.Errorf("warning %d = %q, want substring %q", i, warns[i], sub)
+				}
+			}
+		})
+	}
+}
+
+// withIters sets iters/iters_scale on the report's experiments in order.
+func withIters(r *report, scale int, iters ...int) *report {
+	for i, n := range iters {
+		r.Experiments[i].Iters = n
+		r.Experiments[i].ItersScale = scale
+	}
+	return r
+}
+
+func TestPerExperimentItersWarnings(t *testing.T) {
+	base := withIters(mkReport("fig7", 1000.0, "fig8", 1000.0), 1, 4, 4)
+
+	// Same iteration counts: quiet.
+	if _, warnings, _ := diff(base, withIters(mkReport("fig7", 1000.0, "fig8", 1000.0), 1, 4, 4), gate{Threshold: 0.10}); len(warnings) != 0 {
+		t.Fatalf("matching iters warned: %v", warnings)
+	}
+
+	// A row measured at a different iteration count warns but never gates.
+	cand := withIters(mkReport("fig7", 1000.0, "fig8", 1000.0), 32, 4, 128)
+	_, warnings, regressed := diff(base, cand, gate{Threshold: 0.10})
+	if regressed {
+		t.Fatal("iters mismatch must not gate")
+	}
+	var itersWarn, scaleWarn int
+	for _, w := range warnings {
+		if strings.Contains(w, "iteration count differs") {
+			itersWarn++
+			if !strings.Contains(w, "fig8") || !strings.Contains(w, "baseline measured 4 iters, candidate 128") {
+				t.Fatalf("iters warning wrong: %q", w)
+			}
+		}
+		if strings.Contains(w, "iters-scale differs") {
+			scaleWarn++
+		}
+	}
+	if itersWarn != 1 {
+		t.Fatalf("got %d iteration-count warnings, want 1: %v", itersWarn, warnings)
+	}
+	if scaleWarn != 2 { // both rows changed scale 1 -> 32
+		t.Fatalf("got %d per-row iters-scale warnings, want 2: %v", scaleWarn, warnings)
+	}
+
+	// Old-schema rows (no iters recorded) stay quiet.
+	old := mkReport("fig7", 1000.0, "fig8", 1000.0)
+	if _, warnings, _ := diff(old, withIters(mkReport("fig7", 1000.0, "fig8", 1000.0), 1, 4, 4), gate{Threshold: 0.10}); len(warnings) != 0 {
+		t.Fatalf("old-schema rows warned: %v", warnings)
+	}
+}
+
 func TestDiffPercentDelta(t *testing.T) {
 	base := mkReport("fig7", 2000.0, "fig8", 800.0)
 	cand := mkReport("fig7", 1000.0, "fig8", 1000.0)

@@ -5,6 +5,8 @@
 //	bgpbench -exp fig10,table1   # a subset
 //	bgpbench -racks 2            # torus experiments at full 2-rack scale
 //	bgpbench -quick              # trimmed message sweeps for a fast pass
+//	bgpbench -iters-scale 32     # 32x the iteration count (extrapolation keeps it cheap)
+//	bgpbench -noextrap           # execute every iteration; no steady-state extrapolation
 //	bgpbench -par 1              # serial sweep (default: GOMAXPROCS workers)
 //	bgpbench -reference          # goroutine reference mode (same virtual times)
 //	bgpbench -shards 4           # sharded kernels: parallel epochs inside each run
@@ -53,6 +55,12 @@ type benchReport struct {
 	// GOMemLimit is math.MaxInt64 when no limit is set (Go's "off" value).
 	GOGC       int   `json:"gogc"`
 	GOMemLimit int64 `json:"gomemlimit"`
+	// ItersScale multiplies every experiment's iteration count (1 = the
+	// per-experiment defaults as published); NoExtrap disables steady-state
+	// iteration extrapolation so every iteration executes. Both change what
+	// a wall-clock means, so benchdiff warns on cross-setting comparisons.
+	ItersScale int  `json:"iters_scale,omitempty"`
+	NoExtrap   bool `json:"noextrap,omitempty"`
 	// PGO is the profile the binary was built with ("" for a non-PGO
 	// build), so benchdiff can refuse to read a PGO-vs-plain comparison as
 	// a code change.
@@ -70,9 +78,14 @@ type benchReport struct {
 // so far — monotone per process, so per-experiment values in one run share a
 // high-water mark).
 type experimentTimes struct {
-	ID           string  `json:"id"`
-	Ranks        int     `json:"ranks"`
-	Iters        int     `json:"iters"`
+	ID    string `json:"id"`
+	Ranks int    `json:"ranks"`
+	Iters int    `json:"iters"`
+	// ItersScale echoes the run's -iters-scale so a stored row's Iters is
+	// attributable (Iters already includes the multiplier); ExtrapIters is
+	// how many of those iterations were extrapolated instead of executed.
+	ItersScale   int     `json:"iters_scale,omitempty"`
+	ExtrapIters  int64   `json:"extrapolated_iters,omitempty"`
 	WallMS       float64 `json:"wall_ms"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
 	Allocs       uint64  `json:"allocs"`
@@ -119,6 +132,8 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments: fig6,fig7,fig8,fig9,fig10,table1,figs (rack-scale capacity), ablation.colors, ablation.chunk, ablation.fifo, \"ablations\", or all")
 	racks := flag.Int("racks", 0, "racks for partition size (0 = per-experiment default; torus experiments default to a 512-node midplane)")
 	iters := flag.Int("iters", 0, "micro-benchmark iterations (0 = per-experiment default)")
+	itersScale := flag.Int("iters-scale", 1, "multiply every experiment's iteration count by this factor; steady-state extrapolation keeps the cost near 1x, and the multiplier is stamped into -benchjson")
+	noExtrap := flag.Bool("noextrap", false, "disable steady-state iteration extrapolation: execute every measure-loop iteration (virtual times are identical, only wall-clock differs)")
 	quick := flag.Bool("quick", false, "trim message-size sweeps")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	par := flag.Int("par", 0, "sweep worker count: cells fan across this many goroutines (0 = GOMAXPROCS, 1 = serial)")
@@ -133,7 +148,7 @@ func main() {
 	flag.Parse()
 
 	coll.Register()
-	opts := bench.Options{Racks: *racks, Iters: *iters, Quick: *quick, Workers: *par, Reference: *reference, Shards: *shards, NoShard: *noShard}
+	opts := bench.Options{Racks: *racks, Iters: *iters, ItersScale: *itersScale, Quick: *quick, Workers: *par, Reference: *reference, Shards: *shards, NoShard: *noShard, NoExtrap: *noExtrap}
 
 	// Apply GC tuning first, then read back the effective values: the
 	// setters return the previous setting, so a set-and-restore probe reports
@@ -177,6 +192,8 @@ func main() {
 		Reference:  *reference,
 		Shards:     *shards,
 		NoShard:    *noShard,
+		ItersScale: *itersScale,
+		NoExtrap:   *noExtrap,
 		GOGC:       effGOGC,
 		GOMemLimit: effMemLimit,
 		PGO:        pgoProfile(),
@@ -205,6 +222,7 @@ func main() {
 		// sampler outlives the experiment it is attributed to (the leak
 		// check lives in bench/heapsampler_test.go).
 		sampler := bench.StartHeapSampler()
+		extrapBefore := bench.ExtrapolatedIters()
 		start := time.Now()
 		fig, err := exp.Run(opts)
 		if err != nil {
@@ -219,6 +237,8 @@ func main() {
 			ID:                 exp.ID,
 			Ranks:              fig.Ranks,
 			Iters:              fig.Iters,
+			ItersScale:         *itersScale,
+			ExtrapIters:        bench.ExtrapolatedIters() - extrapBefore,
 			WallMS:             float64(wall.Microseconds()) / 1e3,
 			AllocBytes:         after.TotalAlloc - before.TotalAlloc,
 			Allocs:             after.Mallocs - before.Mallocs,

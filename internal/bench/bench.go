@@ -46,13 +46,27 @@ type Options struct {
 	// (same window/mailbox algorithm, no goroutines). Meaningful only with
 	// Shards > 1; exists for overhead attribution and race-free baselines.
 	NoShard bool
+	// NoExtrap disables steady-state iteration extrapolation: every measure
+	// loop executes all of its iterations literally (the reference mode the
+	// extrapolation equivalence gates compare against). Results are
+	// bit-identical either way; only wall-clock differs.
+	NoExtrap bool
+	// ItersScale multiplies every experiment's resolved iteration count
+	// (values < 2 mean no scaling): the high-fidelity mode matching the
+	// paper-style hundreds-of-repetitions methodology, affordable because
+	// post-steady iterations are extrapolated rather than executed.
+	ItersScale int
 }
 
 func (o Options) iters(def int) int {
-	if o.Iters > 0 {
-		return o.Iters
+	it := o.Iters
+	if it <= 0 {
+		it = def
 	}
-	return def
+	if o.ItersScale > 1 {
+		it *= o.ItersScale
+	}
+	return it
 }
 
 // Figure is one reproduced figure or table: a set of series over message
@@ -176,6 +190,9 @@ type RunMode struct {
 	// goroutine instead of on per-shard workers. Ignored on single-shard
 	// configs.
 	NoShard bool
+	// NoExtrap runs every measure-loop iteration literally instead of
+	// extrapolating from the detected steady state (see extrap.go).
+	NoExtrap bool
 }
 
 // MeasureBcastMode is MeasureBcast with an explicit reference toggle, kept
@@ -196,11 +213,16 @@ func MeasureBcastRun(cfg hw.Config, algo string, msg, iters int, mode RunMode) (
 	w.Tunables.Bcast = algo
 	w.M.K.SetNoProgram(mode.Reference || !mpi.HasProgBcast(algo))
 	w.M.K.SetNoShard(mode.NoShard)
+	w.M.K.SetNoExtrap(mode.NoExtrap)
+	ext := newExtrapolator(w, iters, mode.NoExtrap)
 	worsts := make([]sim.Time, w.M.K.ShardCount())
+	loops := make([]measureLoop, w.Size())
 	_, err = w.RunProgram(func(r *mpi.Rank) {
-		l := &measureLoop{r: r, buf: r.NewBuf(msg), iters: iters, worst: &worsts[r.Shard().ID()]}
+		l := &loops[r.Rank()]
+		l.r, l.buf, l.iters, l.worst = r, r.NewBuf(msg), iters, &worsts[r.Shard().ID()]
 		l.afterBarrierFn = l.bcastAfterBarrier
 		l.afterOpFn = l.afterOp
+		ext.attach(l)
 		l.iter()
 	})
 	releaseWorld(cfg, w, err)
@@ -224,7 +246,10 @@ func maxTime(ts []sim.Time) sim.Time {
 // collective; repeat) as a state machine: its continuations are method
 // values bound once per rank, where the closure form allocated two per
 // iteration per rank — the dominant bench-side entry in the sweep
-// allocation profile.
+// allocation profile. Loops are carved from one per-measurement slab
+// (indexed by rank) rather than allocated individually: at rack scale a
+// million tiny pointer-bearing objects per measurement is real GC mark and
+// sweep work.
 type measureLoop struct {
 	r          *mpi.Rank
 	buf        data.Buf // bcast payload
@@ -233,7 +258,8 @@ type measureLoop struct {
 	i          int
 	elapsed    sim.Time
 	start      sim.Time
-	worst      *sim.Time // this shard's slot, shared across its ranks; the shard token serializes access
+	worst      *sim.Time     // this shard's slot, shared across its ranks; the shard token serializes access
+	ext        *extrapolator // steady-state detector, nil when extrapolation is off
 
 	afterBarrierFn func()
 	afterOpFn      func()
@@ -251,20 +277,33 @@ func (l *measureLoop) iter() {
 	l.r.BarrierThen(l.afterBarrierFn)
 }
 
+// The after-barrier continuations consult the extrapolator before reading
+// the clock: the boundary hook may fast-forward virtual time, in which case
+// this iteration proceeds live as the final one.
+
 //bgplint:hot
 func (l *measureLoop) bcastAfterBarrier() {
+	if l.ext != nil {
+		l.ext.boundary()
+	}
 	l.start = l.r.Now()
 	l.r.BcastThen(l.buf, 0, l.afterOpFn)
 }
 
 //bgplint:hot
 func (l *measureLoop) barrierAfterBarrier() {
+	if l.ext != nil {
+		l.ext.boundary()
+	}
 	l.start = l.r.Now()
 	l.r.BarrierThen(l.afterOpFn)
 }
 
 //bgplint:hot
 func (l *measureLoop) allreduceAfterBarrier() {
+	if l.ext != nil {
+		l.ext.boundary()
+	}
 	l.start = l.r.Now()
 	l.r.AllreduceSumThen(l.send, l.recv, l.afterOpFn)
 }
@@ -297,12 +336,17 @@ func MeasureAllreduceRun(cfg hw.Config, algo string, doubles, iters int, mode Ru
 	w.Tunables.Allreduce = algo
 	w.M.K.SetNoProgram(mode.Reference || !mpi.HasProgAllreduce(algo))
 	w.M.K.SetNoShard(mode.NoShard)
+	w.M.K.SetNoExtrap(mode.NoExtrap)
+	ext := newExtrapolator(w, iters, mode.NoExtrap)
 	bytes := doubles * data.Float64Len
 	worsts := make([]sim.Time, w.M.K.ShardCount())
+	loops := make([]measureLoop, w.Size())
 	_, err = w.RunProgram(func(r *mpi.Rank) {
-		l := &measureLoop{r: r, send: r.NewBuf(bytes), recv: r.NewBuf(bytes), iters: iters, worst: &worsts[r.Shard().ID()]}
+		l := &loops[r.Rank()]
+		l.r, l.send, l.recv, l.iters, l.worst = r, r.NewBuf(bytes), r.NewBuf(bytes), iters, &worsts[r.Shard().ID()]
 		l.afterBarrierFn = l.allreduceAfterBarrier
 		l.afterOpFn = l.afterOp
+		ext.attach(l)
 		l.iter()
 	})
 	releaseWorld(cfg, w, err)

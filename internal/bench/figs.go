@@ -66,14 +66,19 @@ func scaleConfig(p scalePoint) hw.Config {
 // measureBcastOn runs the Fig. 5 loop for one broadcast on an already-built
 // world, bypassing the world pool: figS owns its worlds so that construction
 // and footprint are attributable per point.
-func measureBcastOn(w *mpi.World, algo string, msg, iters int, reference bool) (sim.Time, error) {
+func measureBcastOn(w *mpi.World, algo string, msg, iters int, mode RunMode) (sim.Time, error) {
 	w.Tunables.Bcast = algo
-	w.M.K.SetNoProgram(reference || !mpi.HasProgBcast(algo))
+	w.M.K.SetNoProgram(mode.Reference || !mpi.HasProgBcast(algo))
+	w.M.K.SetNoExtrap(mode.NoExtrap)
+	ext := newExtrapolator(w, iters, mode.NoExtrap)
 	worsts := make([]sim.Time, w.M.K.ShardCount())
+	loops := make([]measureLoop, w.Size())
 	_, err := w.RunProgram(func(r *mpi.Rank) {
-		l := &measureLoop{r: r, buf: r.NewBuf(msg), iters: iters, worst: &worsts[r.Shard().ID()]}
+		l := &loops[r.Rank()]
+		l.r, l.buf, l.iters, l.worst = r, r.NewBuf(msg), iters, &worsts[r.Shard().ID()]
 		l.afterBarrierFn = l.bcastAfterBarrier
 		l.afterOpFn = l.afterOp
+		ext.attach(l)
 		l.iter()
 	})
 	return maxTime(worsts), err
@@ -83,13 +88,18 @@ func measureBcastOn(w *mpi.World, algo string, msg, iters int, reference bool) (
 // operation: one untimed barrier aligns the ranks, then the timed barrier's
 // release arrives one interrupt-network latency later, so the per-iteration
 // time equals Params.BarrierLatency exactly (analytic.TreeBarrier).
-func measureBarrierOn(w *mpi.World, iters int, reference bool) (sim.Time, error) {
-	w.M.K.SetNoProgram(reference)
+func measureBarrierOn(w *mpi.World, iters int, mode RunMode) (sim.Time, error) {
+	w.M.K.SetNoProgram(mode.Reference)
+	w.M.K.SetNoExtrap(mode.NoExtrap)
+	ext := newExtrapolator(w, iters, mode.NoExtrap)
 	worsts := make([]sim.Time, w.M.K.ShardCount())
+	loops := make([]measureLoop, w.Size())
 	_, err := w.RunProgram(func(r *mpi.Rank) {
-		l := &measureLoop{r: r, iters: iters, worst: &worsts[r.Shard().ID()]}
+		l := &loops[r.Rank()]
+		l.r, l.iters, l.worst = r, iters, &worsts[r.Shard().ID()]
 		l.afterBarrierFn = l.barrierAfterBarrier
 		l.afterOpFn = l.afterOp
+		ext.attach(l)
 		l.iter()
 	})
 	return maxTime(worsts), err
@@ -109,7 +119,7 @@ type scaleCell struct {
 // concurrent kernel runs would pollute the deltas (Options.Workers is
 // ignored). The world is returned still live so the caller can use it as the
 // growth donor for the next point.
-func measureScalePoint(cfg hw.Config, msg, iters int, reference bool) (scaleCell, *mpi.World, error) {
+func measureScalePoint(cfg hw.Config, msg, iters int, mode RunMode) (scaleCell, *mpi.World, error) {
 	runtime.GC()
 	var before, settled, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -125,12 +135,12 @@ func measureScalePoint(cfg hw.Config, msg, iters int, reference bool) (scaleCell
 		cell.perRankBytes = float64(settled.HeapInuse-before.HeapInuse) / float64(cfg.Ranks())
 	}
 	t0 = time.Now()
-	cell.bcast, err = measureBcastOn(w, mpi.BcastTreeShaddr, msg, iters, reference)
+	cell.bcast, err = measureBcastOn(w, mpi.BcastTreeShaddr, msg, iters, mode)
 	if err != nil {
 		return cell, nil, err
 	}
 	resetBetweenRuns(w)
-	cell.barrier, err = measureBarrierOn(w, iters, reference)
+	cell.barrier, err = measureBarrierOn(w, iters, mode)
 	if err != nil {
 		return cell, nil, err
 	}
@@ -156,6 +166,14 @@ func maxU64(a, b uint64) uint64 {
 // world is grown in place with Reconfigure instead of being rebuilt, so the
 // column is the marginal cost of capacity the partition already mostly owns.
 // The first point has no predecessor; its grow cost is its cold build.
+//
+// Each point grows the donor first, drops it, and only then builds the fresh
+// world it measures. The order matters for footprint, not semantics: growing
+// after the build would hold two full-size worlds live at once at the top
+// point (~2x peak RSS), and on a THP-less fault path the extra gigabytes of
+// first-touch page zeroing dominate the sweep's wall clock. Dropping the
+// grown donor before measureScalePoint's leading GC lets the fresh build
+// reuse its freed spans instead of faulting new ones.
 //
 // Reference mode is honoured but inadvisable at the full scale: the top
 // point would park a goroutine per rank (2^20 of them). The quick sweep caps
@@ -192,20 +210,25 @@ func FigScale(o Options) (*Figure, error) {
 	var donor *mpi.World
 	for i, pt := range pts {
 		cfg := scaleConfig(pt)
-		cell, w, err := measureScalePoint(cfg, ScaleBcastMsg, iters, o.Reference)
-		if err != nil {
-			return nil, fmt.Errorf("figS @ %d ranks: %w", pt.ranks, err)
-		}
-		if donor == nil {
-			cell.grow = cell.construct
-		} else {
+		var grow time.Duration
+		if donor != nil {
 			t0 := time.Now()
 			if err := donor.Reconfigure(cfg); err != nil {
 				return nil, fmt.Errorf("figS grow to %d ranks: %w", pt.ranks, err)
 			}
-			cell.grow = time.Since(t0)
+			grow = time.Since(t0)
+			donor = nil // grown world becomes garbage before the fresh build
 		}
-		donor = w // the grown world is dropped; the fresh one seeds the next point
+		cell, w, err := measureScalePoint(cfg, ScaleBcastMsg, iters, RunMode{Reference: o.Reference, NoExtrap: o.NoExtrap})
+		if err != nil {
+			return nil, fmt.Errorf("figS @ %d ranks: %w", pt.ranks, err)
+		}
+		if i == 0 {
+			cell.grow = cell.construct
+		} else {
+			cell.grow = grow
+		}
+		donor = w // the fresh, measured world seeds the next point's growth
 		for s, v := range []float64{
 			cell.bcast.Microseconds(),
 			cell.barrier.Microseconds(),

@@ -25,12 +25,12 @@ const scaleBcastTolerance = 4.0
 // reset) the barrier.
 func measureScaleOps(t *testing.T, w *mpi.World, iters int) (bcast, barrier sim.Time) {
 	t.Helper()
-	bcast, err := measureBcastOn(w, mpi.BcastTreeShaddr, ScaleBcastMsg, iters, false)
+	bcast, err := measureBcastOn(w, mpi.BcastTreeShaddr, ScaleBcastMsg, iters, RunMode{})
 	if err != nil {
 		t.Fatalf("bcast: %v", err)
 	}
 	w.Reset()
-	barrier, err = measureBarrierOn(w, iters, false)
+	barrier, err = measureBarrierOn(w, iters, RunMode{})
 	if err != nil {
 		t.Fatalf("barrier: %v", err)
 	}

@@ -18,25 +18,36 @@ func shardedGolden(mode hw.Mode, shards int) hw.Config {
 // TestShardedMeasureMatchesSerial pins the bench harness's half of the
 // sharding contract: a measurement on a sharded partition — parallel or in
 // the sequential noShard vehicle — returns the exact virtual time of the
-// single-shard run, per-shard worst-rank folding included.
+// single-shard run, per-shard worst-rank folding included. The serial run
+// is measured both extrapolated and fully executed (sharded kernels refuse
+// extrapolation at construction), so the pin covers the whole vehicle
+// matrix: serial-extrap == serial-full == parallel-shards == noShard.
 func TestShardedMeasureMatchesSerial(t *testing.T) {
 	DrainWorldPool()
 	defer DrainWorldPool()
 	serialCfg := goldenConfig(hw.Quad)
 	shardCfg := shardedGolden(hw.Quad, 4)
+	const iters = 8 // long enough for the serial run's extrapolator to engage
 	for _, algo := range []string{mpi.BcastTreeShaddr, mpi.BcastTreeDMAFIFO, mpi.BcastTreeDMADirect, mpi.BcastTreeShmem} {
-		serial, err := MeasureBcastRun(serialCfg, algo, 64<<10, 2, RunMode{})
+		serial, err := MeasureBcastRun(serialCfg, algo, 64<<10, iters, RunMode{})
 		if err != nil {
 			t.Fatalf("%s serial: %v", algo, err)
 		}
-		parallel, err := MeasureBcastRun(shardCfg, algo, 64<<10, 2, RunMode{})
+		full, err := MeasureBcastRun(serialCfg, algo, 64<<10, iters, RunMode{NoExtrap: true})
+		if err != nil {
+			t.Fatalf("%s serial full: %v", algo, err)
+		}
+		if full != serial {
+			t.Errorf("%s: fully executed time %v != extrapolated serial %v", algo, full, serial)
+		}
+		parallel, err := MeasureBcastRun(shardCfg, algo, 64<<10, iters, RunMode{})
 		if err != nil {
 			t.Fatalf("%s sharded: %v", algo, err)
 		}
 		if parallel != serial {
 			t.Errorf("%s: sharded time %v != serial %v", algo, parallel, serial)
 		}
-		sequential, err := MeasureBcastRun(shardCfg, algo, 64<<10, 2, RunMode{NoShard: true})
+		sequential, err := MeasureBcastRun(shardCfg, algo, 64<<10, iters, RunMode{NoShard: true})
 		if err != nil {
 			t.Fatalf("%s noShard: %v", algo, err)
 		}

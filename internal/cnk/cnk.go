@@ -65,6 +65,25 @@ func Init(w *Process, n *hw.Node, localRank int) {
 	*w = Process{node: n, localRank: localRank}
 }
 
+// SteadyState canonicalizes the process-window residue for steady-state
+// iteration extrapolation (sim.Steady): the resident TLB-slot list in LRU
+// order — buffer keys are iteration-stable (the measure loops reuse one
+// buffer), so the raw keys hash directly — and the four statistics counters
+// as monotone lanes, extrapolated rather than hashed.
+func (w *Process) SteadyState(f *sim.FP) {
+	f.I64(int64(len(w.mapped)))
+	for i := range w.mapped {
+		m := &w.mapped[i]
+		f.I64(int64(m.buf.OwnerLocalRank))
+		f.I64(int64(m.buf.Tag))
+		f.I64(int64(m.region))
+	}
+	f.MonoI64(&w.Syscalls)
+	f.MonoI64(&w.MapCalls)
+	f.MonoI64(&w.CacheHits)
+	f.MonoI64(&w.Evictions)
+}
+
 // Map establishes (or refreshes) the process windows needed for this process
 // to access `bytes` bytes of the peer buffer identified by key, advancing p
 // by the system-call cost of any regions that are not already resident. It

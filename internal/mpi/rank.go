@@ -142,27 +142,33 @@ func (r *Rank) Barrier() {
 
 // BarrierThen is the explicit-resume form of Barrier: done runs once all
 // ranks have arrived and the interrupt-network latency has elapsed.
+//
+// The shared arrival state is released at arrival rather than at release
+// time: the op registry refcounts a fixed party count, so arrive/release
+// order is immaterial, and releasing here lets done pass straight to the
+// wait — the wrapper closure this used to allocate per rank per barrier was
+// the largest single bench-side entry in the rack-scale sweep's allocation
+// profile.
 func (r *Rank) BarrierThen(done func()) {
 	if r.Sharded() {
 		st, seq := r.shardedBarrierArrive()
-		r.proc.WaitGEThen(st.release, 1, func() {
-			r.ReleaseNodeShared(seq, "barrier")
-			done()
-		})
+		r.ReleaseNodeShared(seq, "barrier")
+		r.proc.WaitGEThen(st.release, 1, done)
 		return
 	}
 	seq := r.NextSeq()
 	st := r.WorldShared(seq, "barrier", func() any {
-		return &barrierState{ev: r.w.M.K.NewEvent(fmt.Sprintf("barrier%d", seq))}
+		ev := r.w.M.K.NewEvent(fmt.Sprintf("barrier%d", seq))
+		ev.Reserve(r.Size())
+		return &barrierState{ev: ev}
 	}).(*barrierState)
 	st.arrived++
 	if st.arrived == r.Size() {
 		r.w.M.K.After(r.w.M.Cfg.Params.BarrierLatency, st.ev.Fire)
 	}
-	r.proc.WaitThen(st.ev, func() {
-		r.ReleaseWorldShared(seq, "barrier")
-		done()
-	})
+	ev := st.ev
+	r.ReleaseWorldShared(seq, "barrier")
+	r.proc.WaitThen(ev, done)
 }
 
 type barrierState struct {

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"bgpcoll/internal/bench"
 )
 
 // latencyBucketsMS are the per-experiment compute-latency histogram bounds
@@ -17,18 +19,29 @@ import (
 // (full two-rack partitions), so the buckets are log-spaced across that.
 var latencyBucketsMS = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
 
-// histogram is one cumulative Prometheus histogram.
+// fingerprintBucketsMS are the steady-state fingerprint-capture latency
+// bounds in milliseconds. A capture walks the kernel's pending state once —
+// tens of microseconds on bench-sized worlds — so the buckets sit three
+// orders of magnitude below the compute buckets.
+var fingerprintBucketsMS = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// histogram is one cumulative Prometheus histogram over fixed bounds.
 type histogram struct {
+	bounds []float64
 	counts []uint64 // per bucket, non-cumulative; rendered cumulatively
 	inf    uint64
 	sum    float64
 	n      uint64
 }
 
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
 func (h *histogram) observe(ms float64) {
 	h.sum += ms
 	h.n++
-	for i, ub := range latencyBucketsMS {
+	for i, ub := range h.bounds {
 		if ms <= ub {
 			h.counts[i]++
 			return
@@ -50,10 +63,13 @@ type Metrics struct {
 
 	mu      sync.Mutex
 	latency map[string]*histogram // by experiment id
+	fp      *histogram            // fingerprint-capture wall-clock
 }
 
 // NewMetrics returns zeroed metrics.
-func NewMetrics() *Metrics { return &Metrics{latency: make(map[string]*histogram)} }
+func NewMetrics() *Metrics {
+	return &Metrics{latency: make(map[string]*histogram), fp: newHistogram(fingerprintBucketsMS)}
+}
 
 // ObserveCompute records the wall-clock cost of one computed (miss) cell.
 func (m *Metrics) ObserveCompute(experiment string, ms float64) {
@@ -61,10 +77,18 @@ func (m *Metrics) ObserveCompute(experiment string, ms float64) {
 	defer m.mu.Unlock()
 	h := m.latency[experiment]
 	if h == nil {
-		h = &histogram{counts: make([]uint64, len(latencyBucketsMS))}
+		h = newHistogram(latencyBucketsMS)
 		m.latency[experiment] = h
 	}
 	h.observe(ms)
+}
+
+// ObserveFingerprint records the wall-clock cost of one steady-state
+// fingerprint capture (bench.SetFingerprintObserver feeds it).
+func (m *Metrics) ObserveFingerprint(ms float64) {
+	m.mu.Lock()
+	m.fp.observe(ms)
+	m.mu.Unlock()
 }
 
 // WriteTo renders the Prometheus text exposition format. Families and label
@@ -82,6 +106,9 @@ func (m *Metrics) WriteTo(w io.Writer, store *Store) {
 	counter("bgpsimd_rejected_total", "Requests refused for backpressure (HTTP 429).", m.Rejected.Load())
 	gauge("bgpsimd_queue_depth", "Cells enqueued and waiting for a worker.", m.QueueDepth.Load())
 	gauge("bgpsimd_inflight", "Cells currently executing.", m.InFlight.Load())
+	counter("bgpsimd_extrapolated_iterations_total",
+		"Measure-loop iterations replayed by steady-state extrapolation instead of executed.",
+		bench.ExtrapolatedIters())
 	if store != nil {
 		gauge("bgpsimd_cache_entries", "Measurements in the store.", int64(store.Len()))
 	}
@@ -99,7 +126,7 @@ func (m *Metrics) WriteTo(w io.Writer, store *Store) {
 	for _, id := range ids {
 		h := m.latency[id]
 		var cum uint64
-		for i, ub := range latencyBucketsMS {
+		for i, ub := range h.bounds {
 			cum += h.counts[i]
 			fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"%g\"} %d\n", hn, id, ub, cum)
 		}
@@ -107,5 +134,15 @@ func (m *Metrics) WriteTo(w io.Writer, store *Store) {
 		fmt.Fprintf(w, "%s_sum{experiment=%q} %g\n", hn, id, h.sum)
 		fmt.Fprintf(w, "%s_count{experiment=%q} %d\n", hn, id, h.n)
 	}
+	const fn = "bgpsimd_fingerprint_ms"
+	fmt.Fprintf(w, "# HELP %s Wall-clock cost of steady-state fingerprint captures.\n# TYPE %s histogram\n", fn, fn)
+	var cum uint64
+	for i, ub := range m.fp.bounds {
+		cum += m.fp.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", fn, ub, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fn, cum+m.fp.inf)
+	fmt.Fprintf(w, "%s_sum %g\n", fn, m.fp.sum)
+	fmt.Fprintf(w, "%s_count %d\n", fn, m.fp.n)
 	m.mu.Unlock()
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 
 	"bgpcoll/internal/bench"
 	"bgpcoll/internal/hw"
@@ -59,6 +60,12 @@ func New(store *Store, cfg Config) *Server {
 		run = func(c bench.Cell) (sim.Time, error) { return c.Run(mode) }
 	}
 	s := &Server{store: store, metrics: NewMetrics()}
+	// Feed the fingerprint-latency histogram from the bench extrapolator.
+	// The observer is process-wide; the newest server wins, which is the
+	// running one everywhere outside multi-server tests.
+	bench.SetFingerprintObserver(func(d time.Duration) {
+		s.metrics.ObserveFingerprint(float64(d.Nanoseconds()) / 1e6)
+	})
 	s.pool = NewPool(store, s.metrics, cfg.Workers, cfg.QueueCap, cfg.ClientCap, run)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -297,6 +304,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("iters"); v != "" {
 		if _, err := fmt.Sscanf(v, "%d", &o.Iters); err != nil || o.Iters <= 0 {
 			httpError(w, http.StatusBadRequest, "bad iters %q", v)
+			return
+		}
+	}
+	if v := q.Get("iters_scale"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &o.ItersScale); err != nil || o.ItersScale <= 0 {
+			httpError(w, http.StatusBadRequest, "bad iters_scale %q", v)
 			return
 		}
 	}

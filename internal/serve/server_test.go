@@ -240,6 +240,9 @@ func TestMetricsExposition(t *testing.T) {
 		"bgpsimd_cache_entries 1",
 		"bgpsimd_compute_latency_ms_bucket{experiment=\"adhoc\",le=\"+Inf\"} 1",
 		"bgpsimd_compute_latency_ms_count{experiment=\"adhoc\"} 1",
+		"bgpsimd_extrapolated_iterations_total ",
+		"bgpsimd_fingerprint_ms_bucket{le=\"+Inf\"} ",
+		"bgpsimd_fingerprint_ms_count ",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
@@ -250,13 +253,18 @@ func TestMetricsExposition(t *testing.T) {
 func TestRequestValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for name, do := range map[string]func() (*http.Response, []byte){
-		"bad op":      func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{"op":"scan","algo":"x"}`) },
-		"bad algo":    func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{"algo":"torus.nope"}`) },
-		"bad size":    func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{"algo":"torus.shaddr","size":"lots"}`) },
-		"bad torus":   func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{"algo":"torus.shaddr","torus":"8x8"}`) },
+		"bad op":   func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{"op":"scan","algo":"x"}`) },
+		"bad algo": func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{"algo":"torus.nope"}`) },
+		"bad size": func() (*http.Response, []byte) {
+			return post(t, ts.URL+"/v1/run", `{"algo":"torus.shaddr","size":"lots"}`)
+		},
+		"bad torus": func() (*http.Response, []byte) {
+			return post(t, ts.URL+"/v1/run", `{"algo":"torus.shaddr","torus":"8x8"}`)
+		},
 		"bad body":    func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/run", `{`) },
 		"bad figure":  func() (*http.Response, []byte) { return get(t, ts.URL+"/v1/figure?id=figs") },
 		"bad iters":   func() (*http.Response, []byte) { return get(t, ts.URL+"/v1/figure?id=fig6&iters=zero") },
+		"bad scale":   func() (*http.Response, []byte) { return get(t, ts.URL+"/v1/figure?id=fig6&iters_scale=0") },
 		"empty sweep": func() (*http.Response, []byte) { return post(t, ts.URL+"/v1/sweep", `{"algos":[],"sizes":[]}`) },
 	} {
 		resp, body := do()

@@ -17,6 +17,14 @@ type Counter struct {
 	epoch   uint32
 	v       int64
 	waiters []counterWait // kept sorted by threshold
+
+	// fpGen/fpID intern this object into a steady-state fingerprint walk
+	// (steady.go): when fpGen equals the walking capture's generation the
+	// object is already labelled fpID; any other value means unseen. The
+	// stamp lives on the object so a rack-scale capture interns millions of
+	// objects with two word writes instead of a map insert.
+	fpGen uint64
+	fpID  uint32
 }
 
 type counterWait struct {

@@ -15,6 +15,14 @@ type Event struct {
 	epoch   uint32
 	fired   bool
 	waiters []entry // parked process resumes (Wait) and callbacks (OnFire)
+
+	// fpGen/fpID intern this object into a steady-state fingerprint walk
+	// (steady.go): when fpGen equals the walking capture's generation the
+	// object is already labelled fpID; any other value means unseen. The
+	// stamp lives on the object so a rack-scale capture interns millions of
+	// objects with two word writes instead of a map insert.
+	fpGen uint64
+	fpID  uint32
 }
 
 // NewEvent returns an unfired event owned by the root shard; see
@@ -43,6 +51,20 @@ func (e *Event) check() {
 
 // Fired reports whether the event has fired.
 func (e *Event) Fired() bool { return e.fired }
+
+// Reserve grows the waiter list's capacity to at least n. Callers that know
+// the subscriber count up front (a barrier event takes one waiter per rank)
+// use it to replace log2(n) doubling copies with one exact allocation; the
+// capacity then survives Kernel.Reset with the slot, like any other waiter
+// slice.
+func (e *Event) Reserve(n int) {
+	e.check()
+	if cap(e.waiters) < n {
+		w := make([]entry, len(e.waiters), n)
+		copy(w, e.waiters)
+		e.waiters = w
+	}
+}
 
 // Fire marks the event fired and schedules all waiters at the current virtual
 // time. Firing twice panics: it always indicates a protocol bug.

@@ -81,6 +81,12 @@ type Kernel struct {
 	// noHandoff/noFuse/noProgram.
 	noShard bool
 
+	// noExtrap disables steady-state iteration extrapolation (steady.go):
+	// Steady.Capture refuses on a noExtrap kernel, so every measure-loop
+	// iteration executes. The full-execution reference vehicle, mirroring
+	// the flags above.
+	noExtrap bool
+
 	// pipes registers every pipe created on this kernel so Reset can rewind
 	// their reservation state along with the clock.
 	pipes []*Pipe
@@ -130,6 +136,16 @@ func (k *Kernel) SetNoProgram(v bool) { k.noProgram = v }
 // execute the identical window/mailbox algorithm, so every trace, failure,
 // and deadlock report is bit-identical between them.
 func (k *Kernel) SetNoShard(v bool) { k.noShard = v }
+
+// SetNoExtrap toggles the full-execution reference vehicle for the steady-
+// state extrapolation detector (steady.go): captures on a noExtrap kernel
+// refuse, so every iteration executes. Extrapolated and full runs are
+// bit-identical by construction; the flag exists for the equivalence tests
+// and the -noextrap benchmark runs.
+func (k *Kernel) SetNoExtrap(v bool) { k.noExtrap = v }
+
+// NoExtrap reports whether steady-state extrapolation is disabled.
+func (k *Kernel) NoExtrap() bool { return k.noExtrap }
 
 // SetLookahead declares the conservative window width for sharded runs: no
 // cross-shard interaction may take effect sooner than this after it is
@@ -329,29 +345,95 @@ func (r *runRing) grow() {
 	r.buf, r.head, r.tail = next, 0, r.n
 }
 
-// scheduled is one future event: its firing time, a per-shard sequence
-// number breaking same-time ties FIFO, and the entry to run. Fully
-// pointer-free: a megabyte-scale heap of these contributes nothing to a GC
-// mark phase.
+// scheduled is one future timestamp in the event heap: its firing time, the
+// sequence number of the first entry batched at that node (the same-time
+// FIFO tiebreak), and the index of the batch holding the entries themselves.
+// Pointer-free: a megabyte-scale heap of these contributes nothing to a GC
+// mark phase (the batch table's slice spines are the only headers scanned).
 type scheduled struct {
 	t   Time
 	seq int64
-	e   entry
+	bi  int32
 }
 
-// eventHeap is a monomorphic 4-ary min-heap of scheduled entries ordered by
+// eventHeap is a monomorphic 4-ary min-heap of entry batches ordered by
 // (t, seq). A 4-ary layout halves the tree depth of a binary heap, and the
 // concrete element type avoids the interface boxing and indirect calls of
-// container/heap: push and pop allocate nothing beyond slice growth.
+// container/heap.
+//
+// Entries scheduled at the same instant are batched into one heap node:
+// collective phases wake whole tree levels at one timestamp, so roughly half
+// of all pushes in a full sweep land at the time of an immediately preceding
+// push. Batching turns those pushes into a plain append (no sift-up) and —
+// the real win — pays the pop's full-depth sift-down once per distinct
+// timestamp instead of once per entry, on a heap with proportionally fewer
+// nodes.
+//
+// The batch a push may join is tracked by a two-slot (time, batch) cache of
+// the most recently created batches. The cache only ever routes a push to
+// the *newest* batch at its timestamp: a hit appends (monotonically growing
+// seq), and a miss creates a fresh batch that supersedes any older one at
+// that time, whose node then drains first by (t, firstSeq) order. Batch
+// membership therefore never reorders entries — global execution order stays
+// exactly the per-shard (t, seq) FIFO of the unbatched heap — and the cache
+// influences only where entries are stored, never when they run.
 type eventHeap struct {
 	s   []scheduled
 	seq int64
+
+	// pos is the drain cursor into the root's batch: pop returns
+	// buckets[s[0].bi][pos] and removes the root node only once its batch is
+	// exhausted. A push may append to the root's batch mid-drain (it holds
+	// the newest seq and there is no younger batch at that time while the
+	// cache points there), which simply extends the current drain.
+	pos int
+
+	// buckets is the batch table; bfree recycles slots LIFO so a reused
+	// kernel assigns the same slot numbers as a fresh one.
+	buckets [][]entry
+	bfree   []int32
+
+	// The batch cache: up to two distinct (time, batch) pairs, LRU-evicted.
+	// Two slots cover the ping-pong of a transfer-completion time interleaved
+	// with same-instant wakeups that a single slot would thrash on.
+	cacheT   [2]Time
+	cacheB   [2]int32
+	cacheOK  [2]bool
+	cacheLRU uint8
 }
 
 //bgplint:hot
 func (h *eventHeap) push(t Time, ent entry) {
 	h.seq++
-	h.s = append(h.s, scheduled{t: t, seq: h.seq, e: ent})
+	if h.cacheOK[0] && h.cacheT[0] == t {
+		bi := h.cacheB[0]
+		h.buckets[bi] = append(h.buckets[bi], ent)
+		h.cacheLRU = 1
+		return
+	}
+	if h.cacheOK[1] && h.cacheT[1] == t {
+		bi := h.cacheB[1]
+		h.buckets[bi] = append(h.buckets[bi], ent)
+		h.cacheLRU = 0
+		return
+	}
+	// New batch at t.
+	var bi int32
+	if n := len(h.bfree); n > 0 {
+		bi = h.bfree[n-1]
+		h.bfree = h.bfree[:n-1]
+		h.buckets[bi] = append(h.buckets[bi][:0], ent)
+	} else {
+		bi = int32(len(h.buckets))
+		//bgplint:allow hotalloc -- one-time bucket-table growth; slots recycle through bfree across Reset, so a warmed kernel never reaches this branch
+		b := make([]entry, 1, 4)
+		b[0] = ent
+		h.buckets = append(h.buckets, b)
+	}
+	v := h.cacheLRU
+	h.cacheT[v], h.cacheB[v], h.cacheOK[v] = t, bi, true
+	h.cacheLRU = 1 - v
+	h.s = append(h.s, scheduled{t: t, seq: h.seq, bi: bi})
 	// Sift up.
 	s := h.s
 	i := len(s) - 1
@@ -371,12 +453,27 @@ func (h *eventHeap) push(t Time, ent entry) {
 //bgplint:hot
 func (h *eventHeap) pop() entry {
 	s := h.s
-	top := s[0].e
+	bi := s[0].bi
+	b := h.buckets[bi]
+	ent := b[h.pos]
+	if h.pos++; h.pos < len(b) {
+		return ent
+	}
+	// Batch exhausted: recycle its slot (dropping it from the cache) and
+	// remove the root node.
+	h.pos = 0
+	h.bfree = append(h.bfree, bi)
+	if h.cacheOK[0] && h.cacheB[0] == bi {
+		h.cacheOK[0] = false
+	}
+	if h.cacheOK[1] && h.cacheB[1] == bi {
+		h.cacheOK[1] = false
+	}
 	n := len(s) - 1
 	e := s[n]
 	h.s = s[:n]
 	if n == 0 {
-		return top
+		return ent
 	}
 	// Sift down from the root.
 	s = h.s
@@ -406,5 +503,36 @@ func (h *eventHeap) pop() entry {
 		i = min
 	}
 	s[i] = e
-	return top
+	return ent
+}
+
+// reset rewinds the heap for kernel reuse, rebuilding the batch freelist so
+// a reused heap assigns batch slots in the same order a fresh one would.
+func (h *eventHeap) reset() {
+	h.s = h.s[:0]
+	h.seq = 0
+	h.pos = 0
+	h.cacheOK[0], h.cacheOK[1] = false, false
+	h.cacheLRU = 0
+	h.bfree = h.bfree[:0]
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		h.buckets[i] = h.buckets[i][:0]
+		h.bfree = append(h.bfree, int32(i))
+	}
+}
+
+// shiftAll moves every pending node (and the batch cache's timestamps) by d:
+// the uniform time shift of a steady-state Forward. Relative order is
+// untouched.
+func (h *eventHeap) shiftAll(d Time) {
+	s := h.s
+	for i := range s {
+		s[i].t += d
+	}
+	if h.cacheOK[0] {
+		h.cacheT[0] += d
+	}
+	if h.cacheOK[1] {
+		h.cacheT[1] += d
+	}
 }

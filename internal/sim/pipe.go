@@ -33,6 +33,14 @@ type Pipe struct {
 	totalBytes int64
 	busy       Time
 	transfers  int64
+
+	// fpGen/fpID intern this object into a steady-state fingerprint walk
+	// (steady.go): when fpGen equals the walking capture's generation the
+	// object is already labelled fpID; any other value means unseen. The
+	// stamp lives on the object so a rack-scale capture interns millions of
+	// objects with two word writes instead of a map insert.
+	fpGen uint64
+	fpID  uint32
 }
 
 // NewPipe creates a pipe owned by the root shard; see Shard.NewPipe.

@@ -59,6 +59,14 @@ type Proc struct {
 	inline bool
 	armed  bool
 	cont   func()
+
+	// fpGen/fpID intern this process into a steady-state fingerprint walk
+	// (steady.go): when fpGen equals the walking capture's generation the
+	// process is already labelled fpID; any other value means unseen. The
+	// stamp lives on the process so a rack-scale capture interns millions of
+	// processes with two word writes instead of a map insert.
+	fpGen uint64
+	fpID  uint32
 }
 
 // check panics when the handle predates the kernel's current epoch: its slab

@@ -159,8 +159,7 @@ func (sh *Shard) Now() Time { return sh.now }
 func (sh *Shard) reset() {
 	sh.now = 0
 	sh.wend = maxWindow
-	sh.queue.s = sh.queue.s[:0]
-	sh.queue.seq = 0
+	sh.queue.reset()
 	sh.ring.head, sh.ring.tail, sh.ring.n = 0, 0, 0
 	sh.fused = nil
 	sh.failure = nil

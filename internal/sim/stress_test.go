@@ -34,30 +34,42 @@ type stressMode struct {
 	noFuse    bool
 	noProgram bool
 	noShard   bool
+	noExtrap  bool
 }
 
-// stressModes is the full {handoff, fuse, program} x {reference} matrix; the
-// production configuration comes first and is the comparison base.
+// stressModes is the full {handoff, fuse, program, extrap} matrix; the
+// production configuration comes first and is the comparison base. In the
+// extrap modes a live Steady detector fingerprints the kernel every round
+// (the workload is aperiodic, so it never matches): the matrix pins that
+// fingerprint captures are observably side-effect-free, since the noextrap
+// modes run without any detector and every trace must stay bit-identical.
 var stressModes = func() []stressMode {
 	var ms []stressMode
-	for _, noProgram := range []bool{false, true} {
-		for _, noFuse := range []bool{false, true} {
-			for _, noHandoff := range []bool{false, true} {
-				name := "handoff"
-				if noHandoff {
-					name = "kernel-mediated"
+	for _, noExtrap := range []bool{false, true} {
+		for _, noProgram := range []bool{false, true} {
+			for _, noFuse := range []bool{false, true} {
+				for _, noHandoff := range []bool{false, true} {
+					name := "handoff"
+					if noHandoff {
+						name = "kernel-mediated"
+					}
+					if noFuse {
+						name += "+unfused"
+					} else {
+						name += "+fuse"
+					}
+					if noProgram {
+						name += "+goroutine-programs"
+					} else {
+						name += "+program"
+					}
+					if noExtrap {
+						name += "+noextrap"
+					} else {
+						name += "+extrap"
+					}
+					ms = append(ms, stressMode{name: name, noHandoff: noHandoff, noFuse: noFuse, noProgram: noProgram, noExtrap: noExtrap})
 				}
-				if noFuse {
-					name += "+unfused"
-				} else {
-					name += "+fuse"
-				}
-				if noProgram {
-					name += "+goroutine-programs"
-				} else {
-					name += "+program"
-				}
-				ms = append(ms, stressMode{name: name, noHandoff: noHandoff, noFuse: noFuse, noProgram: noProgram})
 			}
 		}
 	}
@@ -85,7 +97,14 @@ func stressTraceOn(t *testing.T, seed int64, mode stressMode, k *Kernel) []stres
 		rounds = 20
 	)
 	rng := rand.New(rand.NewSource(seed))
-	k.noHandoff, k.noFuse, k.noProgram = mode.noHandoff, mode.noFuse, mode.noProgram
+	k.noHandoff, k.noFuse, k.noProgram, k.noExtrap = mode.noHandoff, mode.noFuse, mode.noProgram, mode.noExtrap
+	// In extrap modes, fingerprint the kernel at every round boundary of
+	// proc 0. The aperiodic workload never matches, so nothing is ever
+	// extrapolated; the capture itself must leave no observable trace.
+	var det *Steady
+	if !mode.noExtrap {
+		det = NewSteady(k, nil)
+	}
 
 	pipes := []*Pipe{
 		k.NewPipe("busA", 2e9, 10*Nanosecond),
@@ -198,6 +217,9 @@ func stressTraceOn(t *testing.T, seed int64, mode stressMode, k *Kernel) []stres
 				if pr.bodyPipe >= 0 {
 					p.Transfer(pipes[pr.bodyPipe], pr.bodyBytes)
 				}
+				if i == 0 && det != nil && det.Capture() {
+					t.Fatalf("seed %d mode %s: aperiodic workload fingerprinted as steady", seed, mode.name)
+				}
 				trace = append(trace, stressRec{proc: i, round: r, at: p.Now()})
 				if i < procs-1 {
 					if pr.signalEv {
@@ -216,6 +238,9 @@ func stressTraceOn(t *testing.T, seed int64, mode stressMode, k *Kernel) []stres
 			var runBody func(r int)
 			finishRound := func(r int) {
 				pr := &prog[i][r]
+				if i == 0 && det != nil && det.Capture() {
+					t.Fatalf("seed %d mode %s: aperiodic workload fingerprinted as steady", seed, mode.name)
+				}
 				trace = append(trace, stressRec{proc: i, round: r, at: p.Now()})
 				if i < procs-1 {
 					if pr.signalEv {
@@ -338,7 +363,8 @@ func TestStressRerunStable(t *testing.T) {
 func TestDeadlockReportIdenticalAcrossModes(t *testing.T) {
 	build := func(mode stressMode) error {
 		k := New()
-		k.noHandoff, k.noFuse, k.noProgram = mode.noHandoff, mode.noFuse, mode.noProgram
+		k.noHandoff, k.noFuse, k.noProgram, k.noExtrap =
+			mode.noHandoff, mode.noFuse, mode.noProgram, mode.noExtrap
 		c := k.NewCounter("starved")
 		ev := k.NewEvent("missing")
 		k.Spawn("waiter.ev", func(p *Proc) {
@@ -426,7 +452,7 @@ func TestPooledProcReuseAcrossKernels(t *testing.T) {
 
 const shardStressLookahead = 100 * Nanosecond
 
-// shardStressModes is the full 16-mode matrix over the sharded workload.
+// shardStressModes is the full 32-mode matrix over the sharded workload.
 var shardStressModes = func() []stressMode {
 	var ms []stressMode
 	for _, m := range stressModes {
@@ -469,8 +495,8 @@ func shardStressTraceOn(t *testing.T, seed int64, mode stressMode, k *Kernel, pe
 	)
 	shardOf := func(i int) *Shard { return peers[i/perShard] }
 	rng := rand.New(rand.NewSource(seed))
-	k.noHandoff, k.noFuse, k.noProgram, k.noShard =
-		mode.noHandoff, mode.noFuse, mode.noProgram, mode.noShard
+	k.noHandoff, k.noFuse, k.noProgram, k.noShard, k.noExtrap =
+		mode.noHandoff, mode.noFuse, mode.noProgram, mode.noShard, mode.noExtrap
 
 	// Per-shard pipe pairs: pipes are shard-owned resources.
 	pipes := make([][]*Pipe, len(peers))
@@ -761,12 +787,12 @@ func TestShardStressResetReuse(t *testing.T) {
 
 // TestShardDeadlockReportIdenticalAcrossModes deadlocks procs on three
 // different shards plus the hub: the merged, sorted report must be identical
-// across all 16 modes.
+// across all 32 modes.
 func TestShardDeadlockReportIdenticalAcrossModes(t *testing.T) {
 	build := func(mode stressMode) error {
 		k, peers, hub := newShardStressKernel()
-		k.noHandoff, k.noFuse, k.noProgram, k.noShard =
-			mode.noHandoff, mode.noFuse, mode.noProgram, mode.noShard
+		k.noHandoff, k.noFuse, k.noProgram, k.noShard, k.noExtrap =
+			mode.noHandoff, mode.noFuse, mode.noProgram, mode.noShard, mode.noExtrap
 		c1 := peers[1].NewCounter("starved1")
 		ev0 := peers[0].NewEvent("missing0")
 		ch := hub.NewCounter("hub.never")
